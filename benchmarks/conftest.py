@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Benchmarks regenerate the paper's evaluation artifacts; most verify a
+whole program per round, so rounds are kept minimal via the
+``pedantic`` API in the individual files.  Results that belong in
+EXPERIMENTS.md are also appended to ``benchmarks/out/``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def artifact_path(name):
+    """Where a benchmark writes its regenerated artifact."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return os.path.join(OUT_DIR, name)

@@ -1,0 +1,61 @@
+"""A1 — ablation: rich invariants vs the default well-formedness
+invariant (paper §5, "Using Invariants").
+
+``search`` with its rich invariant proves the full behavioural
+specification; with no invariant the system falls back to
+well-formedness only — cheaper, still verifying memory safety, but
+the behavioural postcondition is no longer provable.
+"""
+
+from repro.programs import SEARCH, SEARCH_DEFAULT_INVARIANT
+from repro.verify import verify_source
+
+
+def test_rich_invariant_proves_behaviour(benchmark):
+    result = benchmark.pedantic(lambda: verify_source(SEARCH),
+                                rounds=1, iterations=1)
+    assert result.valid
+    benchmark.extra_info["max_states"] = result.max_states
+    benchmark.extra_info["formula_size"] = result.formula_size
+
+
+def test_default_invariant_proves_safety(benchmark):
+    result = benchmark.pedantic(
+        lambda: verify_source(SEARCH_DEFAULT_INVARIANT),
+        rounds=1, iterations=1)
+    assert result.valid
+    benchmark.extra_info["max_states"] = result.max_states
+    benchmark.extra_info["formula_size"] = result.formula_size
+
+
+def test_default_invariant_cannot_prove_behaviour():
+    """Attaching search's full behavioural postcondition without the
+    rich invariant fails: well-formedness alone says nothing about the
+    colours already passed.  (Interestingly, ``x<next*>p`` *is*
+    implied by the default invariant here: with a single data
+    variable, the no-unclaimed-cells rule forces every valid pointer
+    onto x's list.)"""
+    source = SEARCH_DEFAULT_INVARIANT.replace(
+        "    p := p^.next\nend.",
+        "    p := p^.next\n"
+        "  {all q: (x<next*>q & q<next+>p) => <(List:red)?>q}\nend.")
+    assert "all q:" in source
+    result = verify_source(source)
+    assert not result.valid
+
+
+def test_default_invariant_implies_reachability():
+    """The flip side: with one data variable, wf alone proves
+    x<next*>p after the loop."""
+    source = SEARCH_DEFAULT_INVARIANT.replace(
+        "    p := p^.next\nend.",
+        "    p := p^.next\n"
+        "  {x<next*>p & (p = nil | <(List:blue)?>p)}\nend.")
+    result = verify_source(source)
+    assert result.valid
+
+
+def test_rich_invariant_costs_more():
+    rich = verify_source(SEARCH)
+    default = verify_source(SEARCH_DEFAULT_INVARIANT)
+    assert rich.formula_size > default.formula_size

@@ -1,0 +1,148 @@
+"""A3 — scaling sweeps (our addition, quantifying §6's claims).
+
+Two sweeps around the paper's complexity discussion:
+
+* **alphabet size**: verifying ``reverse`` over an enum of k colours
+  multiplies the store alphabet (k variants + 3 structural labels)
+  while the shared-BDD representation grows gently — the reason Mona
+  "may efficiently reduce automata with very large alphabets";
+* **program length**: chains of k pointer moves grow the transduced
+  formula linearly, while the intermediate automata grow much faster —
+  a direct measurement of the §6 complexity discussion (the k-step
+  definedness precondition nests k quantified dereferences).
+"""
+
+import pytest
+
+from repro.verify import verify_source
+
+from conftest import artifact_path
+
+
+def _reverse_with_colors(k):
+    colors = [f"c{i}" for i in range(k)]
+    color_list = ", ".join(colors)
+    return f"""
+program reverse{k};
+type
+  Color = ({color_list});
+  List = ^Item;
+  Item = record case tag: Color of {color_list}: (next: List) end;
+{{data}} var x, y: List;
+{{pointer}} var p: List;
+begin
+  {{y = nil}}
+  while x <> nil do begin
+    p := x^.next;
+    x^.next := y;
+    y := x;
+    x := p
+  end
+  {{x = nil}}
+end.
+"""
+
+
+ALPHABET_SIZES = [1, 2, 4, 6]
+_ALPHA_RESULTS = {}
+
+
+@pytest.mark.parametrize("k", ALPHABET_SIZES)
+def test_alphabet_sweep(benchmark, k):
+    result = benchmark.pedantic(
+        lambda: verify_source(_reverse_with_colors(k)),
+        rounds=1, iterations=1)
+    assert result.valid
+    benchmark.extra_info["colors"] = k
+    benchmark.extra_info["max_states"] = result.max_states
+    benchmark.extra_info["max_nodes"] = result.max_nodes
+    _ALPHA_RESULTS[k] = result
+
+
+def test_alphabet_growth_is_gentle():
+    """Doubling the number of variants does not double the automaton:
+    the BDD shares the per-colour structure."""
+    for k in ALPHABET_SIZES:
+        _ALPHA_RESULTS.setdefault(
+            k, verify_source(_reverse_with_colors(k)))
+    small = _ALPHA_RESULTS[2]
+    large = _ALPHA_RESULTS[6]
+    # alphabet grows 2^4 = 16x (4 extra label tracks); nodes must grow
+    # far less than that.
+    assert large.max_nodes < small.max_nodes * 16
+    assert large.valid and small.valid
+
+
+CHAIN_LENGTHS = [1, 2, 3, 4]
+_CHAIN_RESULTS = {}
+
+
+def _chain_program(k):
+    """k pointer moves along x.  The precondition asserts the k-step
+    path is *defined* via an equality with a quantified cell (a bare
+    ``<> nil`` would be vacuously true when the path is undefined —
+    the partial-term semantics)."""
+    moves = ";\n".join(["  p := x"] + ["  p := p^.next"] * k)
+    path = "x" + "^.next" * k
+    return f"""
+program chain{k};
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{{data}} var x: List;
+{{pointer}} var p: List;
+begin
+  {{ex c: {path} = c}}
+{moves}
+  {{x<next+>p}}
+end.
+"""
+
+
+@pytest.mark.parametrize("k", CHAIN_LENGTHS)
+def test_chain_sweep(benchmark, k):
+    result = benchmark.pedantic(
+        lambda: verify_source(_chain_program(k)),
+        rounds=1, iterations=1)
+    assert result.valid, f"chain of {k} moves must verify"
+    benchmark.extra_info["moves"] = k
+    benchmark.extra_info["formula_size"] = result.formula_size
+    _CHAIN_RESULTS[k] = result
+
+
+def test_chain_formula_growth_is_linear():
+    """The transduced formula grows linearly in program length; the
+    intermediate *automata* grow much faster (the §6 complexity), which
+    is why the sweep stops at k=4."""
+    for k in CHAIN_LENGTHS:
+        _CHAIN_RESULTS.setdefault(k, verify_source(_chain_program(k)))
+    sizes = [_CHAIN_RESULTS[k].formula_size for k in CHAIN_LENGTHS]
+    assert sizes == sorted(sizes)
+    steps = [b - a for a, b in zip(sizes, sizes[1:])]
+    # linear growth: per-move increments stay within a small factor
+    assert max(steps) <= 3 * min(steps)
+
+
+def test_scaling_emit_artifact():
+    for k in ALPHABET_SIZES:
+        _ALPHA_RESULTS.setdefault(
+            k, verify_source(_reverse_with_colors(k)))
+    for k in CHAIN_LENGTHS:
+        _CHAIN_RESULTS.setdefault(k, verify_source(_chain_program(k)))
+    lines = ["Ablation A3 — scaling sweeps:", "",
+             "reverse with k colours (alphabet growth):"]
+    for k in ALPHABET_SIZES:
+        result = _ALPHA_RESULTS[k]
+        lines.append(f"  k={k}: {result.seconds:5.2f}s  "
+                     f"states={result.max_states:6}  "
+                     f"nodes={result.max_nodes:6}")
+    lines += ["", "pointer chain of k moves (program growth):"]
+    for k in CHAIN_LENGTHS:
+        result = _CHAIN_RESULTS[k]
+        lines.append(f"  k={k}: {result.seconds:5.2f}s  "
+                     f"formula={result.formula_size:6}  "
+                     f"states={result.max_states:6}")
+    with open(artifact_path("ablation_scaling.txt"), "w",
+              encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")

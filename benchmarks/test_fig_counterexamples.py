@@ -1,0 +1,66 @@
+"""F4/F5 — the §5 counterexamples.
+
+``fumble`` (reverse with two lines swapped) must fail with a 4-symbol
+shortest counterexample — a one-cell list — and ``swap`` with the
+3-symbol singleton-list store; ``swap`` verifies once the paper's
+``x^.next <> nil`` precondition is added.
+"""
+
+from repro.programs import FUMBLE, SWAP, SWAP_FIXED
+from repro.stores.encode import LABEL_LIM, LABEL_NIL
+from repro.stores.render import render_symbols
+from repro.verify import verify_source
+
+from conftest import artifact_path
+
+
+def test_fig_fumble_counterexample(benchmark):
+    result = benchmark.pedantic(lambda: verify_source(FUMBLE),
+                                rounds=1, iterations=1)
+    assert not result.valid
+    symbols = result.counterexample.symbols
+    # paper: [nil,{p}] [(List:red),...] [lim,0] [lim,0]
+    assert len(symbols) == 4
+    assert symbols[0].label == LABEL_NIL
+    assert symbols[1].label[0] == "rec"
+    assert symbols[2].label == symbols[3].label == LABEL_LIM
+    benchmark.extra_info["counterexample"] = render_symbols(symbols)
+
+
+def test_fig_swap_counterexample(benchmark):
+    result = benchmark.pedantic(lambda: verify_source(SWAP),
+                                rounds=1, iterations=1)
+    assert not result.valid
+    symbols = result.counterexample.symbols
+    # paper: [nil,{p}] [(List:red),...] [lim,0] — a list of length one
+    assert len(symbols) == 3
+    assert symbols[0].label == LABEL_NIL
+    assert symbols[1].label[0] == "rec"
+    assert symbols[2].label == LABEL_LIM
+    assert "x" in symbols[1].bitmap
+    benchmark.extra_info["counterexample"] = render_symbols(symbols)
+
+
+def test_fig_swap_fixed_verifies(benchmark):
+    """Adding {x^.next <> nil} confirms the singleton list was the
+    only fatal case (§5)."""
+    result = benchmark.pedantic(lambda: verify_source(SWAP_FIXED),
+                                rounds=1, iterations=1)
+    assert result.valid
+
+
+def test_fig_emit_artifact():
+    fumble = verify_source(FUMBLE).counterexample
+    swap = verify_source(SWAP).counterexample
+    lines = [
+        "Paper section 5 counterexamples, regenerated:",
+        "",
+        "fumble:",
+        fumble.render(),
+        "",
+        "swap:",
+        swap.render(),
+    ]
+    with open(artifact_path("fig_counterexamples.txt"), "w",
+              encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")

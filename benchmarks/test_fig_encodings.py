@@ -1,0 +1,76 @@
+"""F1 — the §3 store-encoding examples.
+
+Regenerates the two encoded strings the paper draws in §3: the
+6-symbol single-list store and the 9-symbol three-list store, and
+benchmarks encode/decode round-trips.
+"""
+
+from repro.stores.encode import decode_store, encode_store
+from repro.stores.render import render_symbols
+
+from conftest import artifact_path
+from util import list_schema, store_with_lists
+
+
+def _store_one():
+    schema = list_schema(data_vars=("x",), pointer_vars=("p",))
+    return store_with_lists(schema,
+                            {"x": ["red", "red", "blue", "red"]},
+                            {"p": ("x", 2)})
+
+
+def _store_two():
+    schema = list_schema(data_vars=("x", "y", "z"),
+                         pointer_vars=("p", "q"))
+    return store_with_lists(
+        schema,
+        {"x": ["red", "red", "red"], "y": [], "z": ["blue", "blue"]},
+        {"p": ("x", 0), "q": ("x", 1)})
+
+
+def test_fig_encoding_six_symbols(benchmark):
+    store = _store_one()
+    symbols = benchmark(lambda: encode_store(store))
+    text = render_symbols(symbols)
+    # paper: [nil,0] [(List:red),{x}] [(List:red),0] [(List:blue),{p}]
+    #        [(List:red),0] [lim,0]
+    assert text == ("[nil,{}] [(Item:red),{x}] [(Item:red),{}] "
+                    "[(Item:blue),{p}] [(Item:red),{}] [lim,{}]")
+    benchmark.extra_info["symbols"] = len(symbols)
+
+
+def test_fig_encoding_nine_symbols(benchmark):
+    store = _store_two()
+    symbols = benchmark(lambda: encode_store(store))
+    assert len(symbols) == 9
+    # paper: [nil,{y}] [(List:red),{x,p}] [(List:red),{q}]
+    #        [(List:red),0] [lim,0] [lim,0] [(List:blue),{z}]
+    #        [(List:blue),0] [lim,0]
+    assert symbols[0].bitmap == frozenset({"y"})
+    assert symbols[1].bitmap == frozenset({"x", "p"})
+    assert symbols[2].bitmap == frozenset({"q"})
+    assert [s.label[0] for s in symbols] == \
+        ["nil", "rec", "rec", "rec", "lim", "lim", "rec", "rec", "lim"]
+
+
+def test_fig_decode_roundtrip(benchmark):
+    store = _store_two()
+    symbols = encode_store(store)
+    schema = store.schema
+
+    def roundtrip():
+        return encode_store(decode_store(schema, symbols))
+
+    assert benchmark(roundtrip) == symbols
+
+
+def test_fig_emit_artifact():
+    lines = [
+        "Paper section 3 store encodings, regenerated:",
+        "",
+        "store 1: " + render_symbols(encode_store(_store_one())),
+        "store 2: " + render_symbols(encode_store(_store_two())),
+    ]
+    with open(artifact_path("fig_encodings.txt"), "w",
+              encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")

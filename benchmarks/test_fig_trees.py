@@ -1,0 +1,166 @@
+"""F7 — the §7 tree experiment.
+
+Paper: "Our preliminary experiments with a decision procedure for
+monadic second-order [logic] on trees show that it is much more
+computationally intensive than the string version."
+
+We rebuild that experiment: decide *analogous* formulas with the
+string engine and the tree engine and compare the reduction costs.
+The analogue pairs replace the string successor with the two child
+relations and the linear order with the ancestor order:
+
+* second-order reachability (the routing-star idiom);
+* the induction principle (first/root in X, X closed under
+  successor/children => last/every node in X);
+* order transitivity.
+"""
+
+import time
+
+import pytest
+
+from repro.mso import ast as s
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.treemso import ast as t
+from repro.treemso.compile import TreeCompiler
+
+from conftest import artifact_path
+
+
+def _string_reachability():
+    x, y = s.Var.first("x"), s.Var.first("y")
+    a, b = s.Var.first("a"), s.Var.first("b")
+    S = s.Var.second("S")
+    closed = F.all1([a, b], F.implies(
+        F.and_(F.mem(a, S), F.succ(a, b)), F.mem(b, S)))
+    return F.all2([S], F.implies(F.and_(F.mem(x, S), closed),
+                                 F.mem(y, S)))
+
+
+def _tree_reachability():
+    x, y = t.ast_vars = (s.Var.first("x"), s.Var.first("y"))
+    a, b = s.Var.first("a"), s.Var.first("b")
+    S = s.Var.second("S")
+    step = t.TOr(t.Child0(a, b), t.Child1(a, b))
+    closed = t.TAll1(a, t.TAll1(b, t.TImplies(
+        t.TAnd(t.TMem(a, S), step), t.TMem(b, S))))
+    return t.TAll2(S, t.TImplies(t.TAnd(t.TMem(x, S), closed),
+                                 t.TMem(y, S)))
+
+
+def _string_induction():
+    a, b, first, last = (s.Var.first(n) for n in ("a", "b", "f", "l"))
+    X = s.Var.second("X")
+    closed = F.all1([a, b], F.implies(
+        F.and_(F.mem(a, X), F.succ(a, b)), F.mem(b, X)))
+    zero = F.ex1([first], F.and_(F.first(first), F.mem(first, X)))
+    final = F.ex1([last], F.and_(F.last(last), F.mem(last, X)))
+    return F.implies(F.and_(zero, closed), final)
+
+
+def _tree_induction():
+    a, b, r, c = (s.Var.first(n) for n in ("a", "b", "r", "c"))
+    X = s.Var.second("X")
+    step = t.TOr(t.Child0(a, b), t.Child1(a, b))
+    closed = t.TAll1(a, t.TAll1(b, t.TImplies(
+        t.TAnd(t.TMem(a, X), step), t.TMem(b, X))))
+    root = t.TEx1(r, t.TAnd(t.Root(r), t.TMem(r, X)))
+    everything = t.TAll1(c, t.TMem(c, X))
+    return t.TImplies(t.TAnd(root, closed), everything)
+
+
+def _string_transitivity():
+    x, y, z = (s.Var.first(n) for n in ("x", "y", "z"))
+    return F.implies(F.and_(F.less(x, y), F.less(y, z)), F.less(x, z))
+
+
+def _tree_transitivity():
+    x, y, z = (s.Var.first(n) for n in ("x", "y", "z"))
+    return t.TImplies(t.TAnd(t.Anc(x, y), t.Anc(y, z)), t.Anc(x, z))
+
+
+PAIRS = {
+    "reachability": (_string_reachability, _tree_reachability, False),
+    "induction": (_string_induction, _tree_induction, True),
+    "transitivity": (_string_transitivity, _tree_transitivity, True),
+}
+
+_MEASURED = {}
+
+
+def _measure(kind, make_string, make_tree, expect_valid):
+    started = time.perf_counter()
+    string_compiler = Compiler()
+    string_dfa = string_compiler.compile(make_string())
+    string_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    tree_compiler = TreeCompiler()
+    tree_dfa = tree_compiler.compile(make_tree())
+    tree_seconds = time.perf_counter() - started
+    if expect_valid:
+        assert Compiler().is_valid(make_string())
+        assert TreeCompiler().is_valid(make_tree())
+    return {
+        "string_states": string_compiler.stats.max_states,
+        "tree_states": tree_compiler.stats.max_states,
+        "string_nodes": string_compiler.stats.max_nodes,
+        "tree_nodes": tree_compiler.stats.max_nodes,
+        "string_seconds": string_seconds,
+        "tree_seconds": tree_seconds,
+    }
+
+
+@pytest.mark.parametrize("kind", list(PAIRS))
+def test_fig_tree_vs_string(benchmark, kind):
+    make_string, make_tree, expect_valid = PAIRS[kind]
+    row = benchmark.pedantic(
+        lambda: _measure(kind, make_string, make_tree, expect_valid),
+        rounds=1, iterations=1)
+    _MEASURED[kind] = row
+    for key, value in row.items():
+        if key.endswith("seconds"):
+            value = round(value, 4)
+        benchmark.extra_info[key] = value
+
+
+def test_fig_trees_are_heavier():
+    """The paper's qualitative finding: the tree reduction is more
+    computationally intensive.  Automaton *sizes* stay comparable —
+    the cost multiplies in the transition tables, which take two
+    predecessor states (quadratically many entries) instead of one —
+    so we assert the aggregate time over all three formula pairs (the
+    individual compilations are milliseconds and too noisy) plus the
+    structural quadratic factor itself."""
+    for kind, (make_string, make_tree, expect_valid) in PAIRS.items():
+        if kind not in _MEASURED:
+            _MEASURED[kind] = _measure(kind, make_string, make_tree,
+                                       expect_valid)
+    tree_total = sum(row["tree_seconds"] for row in _MEASURED.values())
+    string_total = sum(row["string_seconds"]
+                       for row in _MEASURED.values())
+    assert tree_total > string_total
+    # the structural factor: a tree automaton with n states stores n^2
+    # transition diagrams where the string automaton stores n
+    from repro.treemso.compile import TreeCompiler
+    tree_dfa = TreeCompiler().compile(_tree_transitivity())
+    assert len(tree_dfa.delta) == tree_dfa.num_states ** 2
+
+
+def test_fig_trees_emit_artifact():
+    lines = ["Paper section 7 tree experiment, regenerated "
+             "(string engine vs tree engine on analogous formulas):",
+             ""]
+    for kind, (make_string, make_tree, expect_valid) in PAIRS.items():
+        row = _MEASURED.get(kind)
+        if row is None:
+            row = _measure(kind, make_string, make_tree, expect_valid)
+            _MEASURED[kind] = row
+        lines.append(
+            f"{kind:13} string: {row['string_seconds']:6.3f}s "
+            f"{row['string_states']:5} states {row['string_nodes']:6} "
+            f"nodes | tree: {row['tree_seconds']:6.3f}s "
+            f"{row['tree_states']:5} states {row['tree_nodes']:6} nodes")
+    with open(artifact_path("fig_trees.txt"), "w",
+              encoding="utf-8") as out:
+        out.write("\n".join(lines) + "\n")

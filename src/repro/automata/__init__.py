@@ -1,0 +1,16 @@
+"""Finite automata.
+
+* :mod:`repro.automata.explicit` — textbook NFA/DFA over explicit
+  alphabets.  Used to evaluate routing relations on concrete stores and
+  as a brute-force oracle in the test suite.
+* :mod:`repro.automata.symbolic` — deterministic automata over
+  bit-vector alphabets with MTBDD-encoded transition functions, the
+  Mona-style engine that decides M2L formulas (paper §6).
+"""
+
+from repro.automata.explicit import Dfa, Nfa, Regex
+from repro.automata.symbolic import SymbolicDfa, SymbolicNfa
+from repro.automata.render import render_transitions, to_dot
+
+__all__ = ["Dfa", "Nfa", "Regex", "SymbolicDfa", "SymbolicNfa",
+           "render_transitions", "to_dot"]

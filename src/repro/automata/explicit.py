@@ -1,0 +1,481 @@
+"""Explicit-alphabet finite automata.
+
+This module implements the classic constructions over automata whose
+alphabet is a finite set of arbitrary hashable symbols: Thompson's
+construction from regular expressions, the subset construction, product
+constructions, Hopcroft minimisation, emptiness and shortest-word
+queries.
+
+Within the verifier these automata serve two purposes:
+
+* routing relations (paper §3) are regular expressions over traversal
+  and test symbols; evaluating ``c<R>d`` on a *concrete* store runs the
+  NFA for ``R`` against the store graph (see
+  :mod:`repro.storelogic.eval`);
+* the test suite uses them as an independently implemented oracle for
+  the symbolic automata.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (Dict, FrozenSet, Hashable, Iterable, Iterator, List,
+                    Optional, Sequence, Set, Tuple)
+
+Symbol = Hashable
+
+
+# ----------------------------------------------------------------------
+# Regular expressions
+# ----------------------------------------------------------------------
+
+class Regex:
+    """Base class of regular-expression ASTs.
+
+    Build with the factory methods and combine with ``|`` (union),
+    ``+`` (concatenation) and ``.star()``:
+
+        >>> r = (Regex.symbol("a") + Regex.symbol("b").star())
+        >>> r.to_nfa().accepts(["a", "b", "b"])
+        True
+    """
+
+    @staticmethod
+    def empty() -> "Regex":
+        """The empty language."""
+        return _Empty()
+
+    @staticmethod
+    def epsilon() -> "Regex":
+        """The language containing only the empty word."""
+        return _Epsilon()
+
+    @staticmethod
+    def symbol(sym: Symbol) -> "Regex":
+        """The single-symbol language ``{sym}``."""
+        return _Sym(sym)
+
+    def __add__(self, other: "Regex") -> "Regex":
+        return _Cat(self, other)
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return _Alt(self, other)
+
+    def star(self) -> "Regex":
+        """Kleene star."""
+        return _Star(self)
+
+    def plus(self) -> "Regex":
+        """One or more repetitions."""
+        return _Cat(self, _Star(self))
+
+    def opt(self) -> "Regex":
+        """Zero or one occurrence."""
+        return _Alt(self, _Epsilon())
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        """All symbols mentioned in the expression."""
+        raise NotImplementedError
+
+    def to_nfa(self) -> "Nfa":
+        """Thompson's construction."""
+        builder = _NfaBuilder()
+        start, end = builder.build(self)
+        return Nfa(num_states=builder.count,
+                   alphabet=self.symbols(),
+                   initial={start},
+                   accepting={end},
+                   transitions=builder.transitions,
+                   epsilon=builder.epsilon)
+
+
+@dataclass(frozen=True)
+class _Empty(Regex):
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class _Epsilon(Regex):
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class _Sym(Regex):
+    sym: Symbol
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return frozenset([self.sym])
+
+
+@dataclass(frozen=True)
+class _Cat(Regex):
+    left: Regex
+    right: Regex
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.left.symbols() | self.right.symbols()
+
+
+@dataclass(frozen=True)
+class _Alt(Regex):
+    left: Regex
+    right: Regex
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.left.symbols() | self.right.symbols()
+
+
+@dataclass(frozen=True)
+class _Star(Regex):
+    inner: Regex
+
+    def symbols(self) -> FrozenSet[Symbol]:
+        return self.inner.symbols()
+
+
+class _NfaBuilder:
+    """State allocator and transition accumulator for Thompson NFAs."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.transitions: Dict[Tuple[int, Symbol], Set[int]] = {}
+        self.epsilon: Dict[int, Set[int]] = {}
+
+    def fresh(self) -> int:
+        state = self.count
+        self.count += 1
+        return state
+
+    def add(self, src: int, sym: Symbol, dst: int) -> None:
+        self.transitions.setdefault((src, sym), set()).add(dst)
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.epsilon.setdefault(src, set()).add(dst)
+
+    def build(self, regex: Regex) -> Tuple[int, int]:
+        if isinstance(regex, _Empty):
+            return self.fresh(), self.fresh()
+        if isinstance(regex, _Epsilon):
+            start, end = self.fresh(), self.fresh()
+            self.add_eps(start, end)
+            return start, end
+        if isinstance(regex, _Sym):
+            start, end = self.fresh(), self.fresh()
+            self.add(start, regex.sym, end)
+            return start, end
+        if isinstance(regex, _Cat):
+            s1, e1 = self.build(regex.left)
+            s2, e2 = self.build(regex.right)
+            self.add_eps(e1, s2)
+            return s1, e2
+        if isinstance(regex, _Alt):
+            start, end = self.fresh(), self.fresh()
+            s1, e1 = self.build(regex.left)
+            s2, e2 = self.build(regex.right)
+            self.add_eps(start, s1)
+            self.add_eps(start, s2)
+            self.add_eps(e1, end)
+            self.add_eps(e2, end)
+            return start, end
+        if isinstance(regex, _Star):
+            start, end = self.fresh(), self.fresh()
+            s1, e1 = self.build(regex.inner)
+            self.add_eps(start, s1)
+            self.add_eps(start, end)
+            self.add_eps(e1, s1)
+            self.add_eps(e1, end)
+            return start, end
+        raise TypeError(f"unknown regex node {regex!r}")
+
+
+# ----------------------------------------------------------------------
+# NFA
+# ----------------------------------------------------------------------
+
+@dataclass
+class Nfa:
+    """A nondeterministic finite automaton with epsilon moves.
+
+    States are ``0 .. num_states-1``.  ``transitions`` maps
+    ``(state, symbol)`` to target sets; ``epsilon`` maps a state to its
+    epsilon successors.
+    """
+
+    num_states: int
+    alphabet: FrozenSet[Symbol]
+    initial: Set[int]
+    accepting: Set[int]
+    transitions: Dict[Tuple[int, Symbol], Set[int]] = field(
+        default_factory=dict)
+    epsilon: Dict[int, Set[int]] = field(default_factory=dict)
+
+    def eps_closure(self, states: Iterable[int]) -> FrozenSet[int]:
+        """All states reachable by epsilon moves from ``states``."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self.epsilon.get(state, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], sym: Symbol) -> FrozenSet[int]:
+        """One symbol step (including closing under epsilon)."""
+        targets: Set[int] = set()
+        for state in states:
+            targets |= self.transitions.get((state, sym), set())
+        return self.eps_closure(targets)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Membership test by on-the-fly subset simulation."""
+        current = self.eps_closure(self.initial)
+        for sym in word:
+            current = self.step(current, sym)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def determinize(self, alphabet: Optional[Iterable[Symbol]] = None
+                    ) -> "Dfa":
+        """Subset construction producing a complete DFA.
+
+        ``alphabet`` defaults to the NFA's own alphabet; pass a larger
+        one to embed into a bigger symbol universe (unknown symbols go
+        to the sink).
+        """
+        sigma = frozenset(alphabet) if alphabet is not None else self.alphabet
+        start = self.eps_closure(self.initial)
+        index: Dict[FrozenSet[int], int] = {start: 0}
+        worklist = deque([start])
+        delta: List[Dict[Symbol, int]] = [{}]
+        accepting: Set[int] = set()
+        while worklist:
+            subset = worklist.popleft()
+            src = index[subset]
+            if subset & self.accepting:
+                accepting.add(src)
+            for sym in sigma:
+                target = self.step(subset, sym)
+                if target not in index:
+                    index[target] = len(index)
+                    delta.append({})
+                    worklist.append(target)
+                delta[src][sym] = index[target]
+        return Dfa(num_states=len(index), alphabet=sigma, initial=0,
+                   accepting=accepting, delta=delta)
+
+
+# ----------------------------------------------------------------------
+# DFA
+# ----------------------------------------------------------------------
+
+@dataclass
+class Dfa:
+    """A complete deterministic finite automaton.
+
+    ``delta[q]`` maps every symbol of ``alphabet`` to a target state.
+    """
+
+    num_states: int
+    alphabet: FrozenSet[Symbol]
+    initial: int
+    accepting: Set[int]
+    delta: List[Dict[Symbol, int]]
+
+    def _check_complete(self) -> None:
+        for q in range(self.num_states):
+            missing = self.alphabet - self.delta[q].keys()
+            if missing:
+                raise ValueError(
+                    f"state {q} lacks transitions for {sorted(map(str, missing))}")
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Membership test."""
+        state = self.initial
+        for sym in word:
+            state = self.delta[state][sym]
+        return state in self.accepting
+
+    def complement(self) -> "Dfa":
+        """Language complement (relies on completeness)."""
+        return Dfa(num_states=self.num_states, alphabet=self.alphabet,
+                   initial=self.initial,
+                   accepting=set(range(self.num_states)) - self.accepting,
+                   delta=self.delta)
+
+    def product(self, other: "Dfa", accept_both: bool = True) -> "Dfa":
+        """Synchronous product; intersection or union by ``accept_both``."""
+        if self.alphabet != other.alphabet:
+            raise ValueError("product requires identical alphabets")
+        index: Dict[Tuple[int, int], int] = {}
+        start = (self.initial, other.initial)
+        index[start] = 0
+        delta: List[Dict[Symbol, int]] = [{}]
+        accepting: Set[int] = set()
+        worklist = deque([start])
+        while worklist:
+            pair = worklist.popleft()
+            src = index[pair]
+            in_self = pair[0] in self.accepting
+            in_other = pair[1] in other.accepting
+            if (in_self and in_other) if accept_both else (in_self or in_other):
+                accepting.add(src)
+            for sym in self.alphabet:
+                target = (self.delta[pair[0]][sym], other.delta[pair[1]][sym])
+                if target not in index:
+                    index[target] = len(index)
+                    delta.append({})
+                    worklist.append(target)
+                delta[src][sym] = index[target]
+        return Dfa(num_states=len(index), alphabet=self.alphabet,
+                   initial=0, accepting=accepting, delta=delta)
+
+    def intersect(self, other: "Dfa") -> "Dfa":
+        """Language intersection."""
+        return self.product(other, accept_both=True)
+
+    def union(self, other: "Dfa") -> "Dfa":
+        """Language union."""
+        return self.product(other, accept_both=False)
+
+    def difference(self, other: "Dfa") -> "Dfa":
+        """Language difference ``L(self) \\ L(other)``."""
+        return self.intersect(other.complement())
+
+    def is_empty(self) -> bool:
+        """True iff no word is accepted."""
+        return self.shortest_word() is None
+
+    def is_universal(self) -> bool:
+        """True iff every word over the alphabet is accepted."""
+        return self.complement().is_empty()
+
+    def shortest_word(self) -> Optional[List[Symbol]]:
+        """A shortest accepted word, or None if the language is empty.
+
+        Ties are broken deterministically by symbol sort order (on
+        ``repr``), so results are stable across runs.
+        """
+        if self.initial in self.accepting:
+            return []
+        parent: Dict[int, Tuple[int, Symbol]] = {}
+        seen = {self.initial}
+        queue = deque([self.initial])
+        ordered = sorted(self.alphabet, key=repr)
+        while queue:
+            state = queue.popleft()
+            for sym in ordered:
+                target = self.delta[state][sym]
+                if target in seen:
+                    continue
+                seen.add(target)
+                parent[target] = (state, sym)
+                if target in self.accepting:
+                    word: List[Symbol] = []
+                    cursor = target
+                    while cursor != self.initial:
+                        prev, via = parent[cursor]
+                        word.append(via)
+                        cursor = prev
+                    word.reverse()
+                    return word
+                queue.append(target)
+        return None
+
+    def includes(self, other: "Dfa") -> bool:
+        """True iff ``L(other) ⊆ L(self)``."""
+        return other.difference(self).is_empty()
+
+    def equivalent(self, other: "Dfa") -> bool:
+        """Language equality."""
+        return self.includes(other) and other.includes(self)
+
+    def words_up_to(self, max_len: int) -> Iterator[Tuple[Symbol, ...]]:
+        """Enumerate all accepted words of length at most ``max_len``.
+
+        Exponential; only for small alphabets in tests.
+        """
+        ordered = sorted(self.alphabet, key=repr)
+        for length in range(max_len + 1):
+            for word in itertools.product(ordered, repeat=length):
+                if self.accepts(word):
+                    yield word
+
+    def minimize(self) -> "Dfa":
+        """Hopcroft's partition-refinement minimisation.
+
+        The result is the unique minimal complete DFA (up to state
+        numbering); unreachable states are dropped first.
+        """
+        reachable = self._reachable()
+        remap = {old: new for new, old in enumerate(sorted(reachable))}
+        states = range(len(remap))
+        delta = [{sym: remap[self.delta[old][sym]] for sym in self.alphabet}
+                 for old in sorted(reachable)]
+        accepting = {remap[q] for q in self.accepting if q in remap}
+        initial = remap[self.initial]
+
+        # Hopcroft refinement.
+        non_accepting = set(states) - accepting
+        partition: List[Set[int]] = [s for s in (accepting, non_accepting) if s]
+        worklist: List[Set[int]] = [set(s) for s in partition]
+        inverse: Dict[Tuple[Symbol, int], Set[int]] = {}
+        for q in states:
+            for sym, target in delta[q].items():
+                inverse.setdefault((sym, target), set()).add(q)
+        while worklist:
+            splitter = worklist.pop()
+            for sym in self.alphabet:
+                pre: Set[int] = set()
+                for target in splitter:
+                    pre |= inverse.get((sym, target), set())
+                new_partition: List[Set[int]] = []
+                for block in partition:
+                    inside = block & pre
+                    outside = block - pre
+                    if inside and outside:
+                        new_partition.append(inside)
+                        new_partition.append(outside)
+                        if block in worklist:
+                            worklist.remove(block)
+                            worklist.append(inside)
+                            worklist.append(outside)
+                        else:
+                            worklist.append(
+                                inside if len(inside) <= len(outside)
+                                else outside)
+                    else:
+                        new_partition.append(block)
+                partition = new_partition
+        block_of: Dict[int, int] = {}
+        for number, block in enumerate(partition):
+            for q in block:
+                block_of[q] = number
+        new_delta: List[Dict[Symbol, int]] = [{} for _ in partition]
+        new_accepting: Set[int] = set()
+        for number, block in enumerate(partition):
+            representative = next(iter(block))
+            for sym in self.alphabet:
+                new_delta[number][sym] = block_of[delta[representative][sym]]
+            if representative in accepting:
+                new_accepting.add(number)
+        return Dfa(num_states=len(partition), alphabet=self.alphabet,
+                   initial=block_of[initial], accepting=new_accepting,
+                   delta=new_delta)
+
+    def _reachable(self) -> Set[int]:
+        seen = {self.initial}
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            for target in self.delta[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen

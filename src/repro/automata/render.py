@@ -1,0 +1,82 @@
+"""Rendering of symbolic automata (the paper's automaton figures).
+
+The §3 figure shows the deterministic automaton for ``x<next*>p`` with
+edges labelled by store-alphabet symbols.  :func:`render_transitions`
+produces that view textually: one line per (state, guard) -> state
+edge, where the guard prints the BDD path as track literals;
+:func:`to_dot` emits Graphviz for the same picture.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.automata.symbolic import SymbolicDfa
+from repro.mso.ast import Var
+
+
+def _track_names(tracks: Optional[Mapping[Var, int]]) -> Dict[int, str]:
+    if tracks is None:
+        return {}
+    return {index: var.name for var, index in tracks.items()}
+
+
+def _guard_text(assignment: Dict[int, bool],
+                names: Dict[int, str]) -> str:
+    if not assignment:
+        return "true"
+    parts = []
+    for track in sorted(assignment):
+        name = names.get(track, f"t{track}")
+        parts.append(name if assignment[track] else f"~{name}")
+    return " & ".join(parts)
+
+
+def render_transitions(dfa: SymbolicDfa,
+                       tracks: Optional[Mapping[Var, int]] = None) -> str:
+    """A textual transition table.
+
+    Each line is ``state --[guard]--> state``; guards are the paths of
+    the transition BDD (tracks absent from a guard are don't-cares).
+    Accepting states are starred, the initial state gets an arrow.
+    """
+    names = _track_names(tracks)
+    lines: List[str] = []
+    for state in range(dfa.num_states):
+        marks = ""
+        if state == dfa.initial:
+            marks += ">"
+        if state in dfa.accepting:
+            marks += "*"
+        lines.append(f"state {state}{marks}:")
+        merged: Dict[int, List[str]] = {}
+        for assignment, target in dfa.mgr.paths(dfa.delta[state]):
+            merged.setdefault(target, []).append(  # type: ignore[arg-type]
+                _guard_text(assignment, names))
+        for target in sorted(merged):
+            for guard in merged[target]:
+                lines.append(f"  --[{guard}]--> {target}")
+    return "\n".join(lines)
+
+
+def to_dot(dfa: SymbolicDfa,
+           tracks: Optional[Mapping[Var, int]] = None,
+           name: str = "automaton") -> str:
+    """Graphviz dot source for the automaton."""
+    names = _track_names(tracks)
+    lines = [f"digraph {name} {{", "  rankdir=LR;",
+             "  __start [shape=point];",
+             f"  __start -> {dfa.initial};"]
+    for state in range(dfa.num_states):
+        shape = "doublecircle" if state in dfa.accepting else "circle"
+        lines.append(f"  {state} [shape={shape}];")
+    for state in range(dfa.num_states):
+        merged: Dict[int, List[str]] = {}
+        for assignment, target in dfa.mgr.paths(dfa.delta[state]):
+            merged.setdefault(target, []).append(  # type: ignore[arg-type]
+                _guard_text(assignment, names))
+        for target, guards in merged.items():
+            label = "\\n".join(guards)
+            lines.append(f'  {state} -> {target} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

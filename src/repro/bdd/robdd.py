@@ -1,0 +1,434 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+A classic hash-consed BDD package in the style of Bryant's 1986 paper
+(reference [1] of the reproduced paper).  Nodes are identified by small
+integers; the two terminals are ``Bdd.FALSE == 0`` and ``Bdd.TRUE == 1``.
+Variables are identified by their *level*: smaller levels are tested
+first.  All operations are memoised, and because nodes are hash-consed,
+two equivalent functions always have the same node index.
+
+Example:
+    >>> m = Bdd()
+    >>> x, y = m.var(0), m.var(1)
+    >>> f = m.and_(x, m.not_(y))
+    >>> m.evaluate(f, {0: True, 1: False})
+    True
+    >>> m.sat_count(f, num_vars=2)
+    1
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Bdd:
+    """A manager owning a universe of hash-consed ROBDD nodes.
+
+    Node indices are only meaningful relative to their manager; never
+    mix nodes from two managers.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        # _nodes[i] = (level, lo, hi); entries 0/1 are dummy terminals.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, 0, 0), (-1, 1, 1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._apply_memo: Dict[Tuple[object, int, int], int] = {}
+        self._not_memo: Dict[int, int] = {}
+        self._ite_memo: Dict[Tuple[int, int, int], int] = {}
+        self._quant_memo: Dict[Tuple[int, int, frozenset], int] = {}
+        self._restrict_memo: Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
+        self._compose_memo: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def node(self, level: int, lo: int, hi: int) -> int:
+        """Return the (hash-consed) node testing ``level``.
+
+        Applies the ROBDD reduction rule: if both branches coincide the
+        node is redundant and the branch itself is returned.
+        """
+        if lo == hi:
+            return lo
+        key = (level, lo, hi)
+        found = self._unique.get(key)
+        if found is not None:
+            return found
+        index = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = index
+        return index
+
+    def var(self, level: int) -> int:
+        """The function of the single variable ``level``."""
+        return self.node(level, self.FALSE, self.TRUE)
+
+    def nvar(self, level: int) -> int:
+        """The negation of the single variable ``level``."""
+        return self.node(level, self.TRUE, self.FALSE)
+
+    def literal(self, level: int, positive: bool) -> int:
+        """A positive or negative literal of ``level``."""
+        return self.var(level) if positive else self.nvar(level)
+
+    def is_terminal(self, f: int) -> bool:
+        """True iff ``f`` is one of the two constants."""
+        return f <= self.TRUE
+
+    def level(self, f: int) -> int:
+        """The decision level of node ``f`` (``-1`` for terminals)."""
+        return self._nodes[f][0]
+
+    def low(self, f: int) -> int:
+        """The else-branch of node ``f``."""
+        return self._nodes[f][1]
+
+    def high(self, f: int) -> int:
+        """The then-branch of node ``f``."""
+        return self._nodes[f][2]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Boolean algebra
+    # ------------------------------------------------------------------
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        if f == self.FALSE:
+            return self.TRUE
+        if f == self.TRUE:
+            return self.FALSE
+        cached = self._not_memo.get(f)
+        if cached is not None:
+            return cached
+        level, lo, hi = self._nodes[f]
+        result = self.node(level, self.not_(lo), self.not_(hi))
+        self._not_memo[f] = result
+        return result
+
+    def _apply(self, name: str, op: Callable[[int, int], Optional[int]],
+               f: int, g: int) -> int:
+        """Shannon-expansion apply of a binary operator.
+
+        ``op`` returns a terminal when the result is decided by its
+        arguments alone (short-circuit table), else ``None``.
+        """
+        decided = op(f, g)
+        if decided is not None:
+            return decided
+        key = (name, f, g)
+        cached = self._apply_memo.get(key)
+        if cached is not None:
+            return cached
+        level_f, level_g = self._nodes[f][0], self._nodes[g][0]
+        if self.is_terminal(f):
+            top = level_g
+        elif self.is_terminal(g):
+            top = level_f
+        else:
+            top = min(level_f, level_g)
+        f_lo, f_hi = (f, f) if self.is_terminal(f) or level_f != top else \
+            (self._nodes[f][1], self._nodes[f][2])
+        g_lo, g_hi = (g, g) if self.is_terminal(g) or level_g != top else \
+            (self._nodes[g][1], self._nodes[g][2])
+        result = self.node(top,
+                           self._apply(name, op, f_lo, g_lo),
+                           self._apply(name, op, f_hi, g_hi))
+        self._apply_memo[key] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        def op(a: int, b: int) -> Optional[int]:
+            if a == self.FALSE or b == self.FALSE:
+                return self.FALSE
+            if a == self.TRUE:
+                return b
+            if b == self.TRUE:
+                return a
+            if a == b:
+                return a
+            return None
+        return self._apply("and", op, f, g)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        def op(a: int, b: int) -> Optional[int]:
+            if a == self.TRUE or b == self.TRUE:
+                return self.TRUE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+            if a == b:
+                return a
+            return None
+        return self._apply("or", op, f, g)
+
+    def xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        def op(a: int, b: int) -> Optional[int]:
+            if a == b:
+                return self.FALSE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+            if a == self.TRUE:
+                return self.not_(b)
+            if b == self.TRUE:
+                return self.not_(a)
+            return None
+        return self._apply("xor", op, f, g)
+
+    def implies(self, f: int, g: int) -> int:
+        """Implication ``f -> g``."""
+        return self.or_(self.not_(f), g)
+
+    def iff(self, f: int, g: int) -> int:
+        """Bi-implication."""
+        return self.not_(self.xor(f, g))
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f & g) | (~f & h)``, computed directly."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_memo.get(key)
+        if cached is not None:
+            return cached
+        top = min(self._top_level(f), self._top_level(g), self._top_level(h))
+        result = self.node(
+            top,
+            self.ite(self._cofactor(f, top, False),
+                     self._cofactor(g, top, False),
+                     self._cofactor(h, top, False)),
+            self.ite(self._cofactor(f, top, True),
+                     self._cofactor(g, top, True),
+                     self._cofactor(h, top, True)))
+        self._ite_memo[key] = result
+        return result
+
+    def _top_level(self, f: int) -> int:
+        level = self._nodes[f][0]
+        return level if level >= 0 else 1 << 60
+
+    def _cofactor(self, f: int, level: int, value: bool) -> int:
+        if self.is_terminal(f) or self._nodes[f][0] != level:
+            return f
+        return self._nodes[f][2] if value else self._nodes[f][1]
+
+    # ------------------------------------------------------------------
+    # Substitution and quantification
+    # ------------------------------------------------------------------
+
+    def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Substitute constants for the given variables."""
+        frozen = tuple(sorted(assignment.items()))
+        return self._restrict(f, frozen, dict(assignment))
+
+    def _restrict(self, f: int, frozen: Tuple[Tuple[int, bool], ...],
+                  assignment: Dict[int, bool]) -> int:
+        if self.is_terminal(f):
+            return f
+        key = (f, frozen)
+        cached = self._restrict_memo.get(key)
+        if cached is not None:
+            return cached
+        level, lo, hi = self._nodes[f]
+        if level in assignment:
+            result = self._restrict(hi if assignment[level] else lo,
+                                    frozen, assignment)
+        else:
+            result = self.node(level,
+                               self._restrict(lo, frozen, assignment),
+                               self._restrict(hi, frozen, assignment))
+        self._restrict_memo[key] = result
+        return result
+
+    def exists(self, f: int, levels: Iterable[int]) -> int:
+        """Existentially quantify the given variables."""
+        level_set = frozenset(levels)
+        if not level_set:
+            return f
+        return self._quantify(f, level_set, disjunction=True)
+
+    def forall(self, f: int, levels: Iterable[int]) -> int:
+        """Universally quantify the given variables."""
+        level_set = frozenset(levels)
+        if not level_set:
+            return f
+        return self._quantify(f, level_set, disjunction=False)
+
+    def _quantify(self, f: int, levels: frozenset, disjunction: bool) -> int:
+        if self.is_terminal(f):
+            return f
+        key = (f, 1 if disjunction else 0, levels)
+        cached = self._quant_memo.get(key)
+        if cached is not None:
+            return cached
+        level, lo, hi = self._nodes[f]
+        q_lo = self._quantify(lo, levels, disjunction)
+        q_hi = self._quantify(hi, levels, disjunction)
+        if level in levels:
+            result = self.or_(q_lo, q_hi) if disjunction else \
+                self.and_(q_lo, q_hi)
+        else:
+            result = self.node(level, q_lo, q_hi)
+        self._quant_memo[key] = result
+        return result
+
+    def compose(self, f: int, level: int, g: int) -> int:
+        """Substitute the function ``g`` for variable ``level`` in ``f``."""
+        key = (f, level, g)
+        cached = self._compose_memo.get(key)
+        if cached is not None:
+            return cached
+        if self.is_terminal(f) or self._nodes[f][0] > level:
+            result = f
+        else:
+            node_level, lo, hi = self._nodes[f]
+            if node_level == level:
+                result = self.ite(g, hi, lo)
+            else:
+                result = self.ite(self.var(node_level),
+                                  self.compose(hi, level, g),
+                                  self.compose(lo, level, g))
+        self._compose_memo[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def evaluate(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under a total assignment of the support of ``f``."""
+        while not self.is_terminal(f):
+            level, lo, hi = self._nodes[f]
+            f = hi if assignment.get(level, False) else lo
+        return f == self.TRUE
+
+    def support(self, f: int) -> frozenset:
+        """The set of variable levels ``f`` depends on."""
+        seen: set = set()
+        levels: set = set()
+        stack = [f]
+        while stack:
+            g = stack.pop()
+            if g in seen or self.is_terminal(g):
+                continue
+            seen.add(g)
+            level, lo, hi = self._nodes[g]
+            levels.add(level)
+            stack.append(lo)
+            stack.append(hi)
+        return frozenset(levels)
+
+    def node_count(self, f: int) -> int:
+        """Number of distinct internal nodes reachable from ``f``."""
+        seen: set = set()
+        stack = [f]
+        while stack:
+            g = stack.pop()
+            if g in seen or self.is_terminal(g):
+                continue
+            seen.add(g)
+            stack.append(self._nodes[g][1])
+            stack.append(self._nodes[g][2])
+        return len(seen)
+
+    def sat_count(self, f: int, num_vars: int) -> int:
+        """Number of satisfying assignments over variables ``0..num_vars-1``.
+
+        Every variable in the support of ``f`` must be below
+        ``num_vars``.
+        """
+        memo: Dict[int, Tuple[int, int]] = {}
+
+        def count(g: int) -> Tuple[int, int]:
+            """Return (count, level) where count is over vars >= level."""
+            if g == self.FALSE:
+                return 0, num_vars
+            if g == self.TRUE:
+                return 1, num_vars
+            cached = memo.get(g)
+            if cached is not None:
+                return cached
+            level, lo, hi = self._nodes[g]
+            lo_count, lo_level = count(lo)
+            hi_count, hi_level = count(hi)
+            total = (lo_count << (lo_level - level - 1)) + \
+                (hi_count << (hi_level - level - 1))
+            memo[g] = (total, level)
+            return total, level
+
+        total, top = count(f)
+        return total << top
+
+    def any_sat(self, f: int) -> Optional[Dict[int, bool]]:
+        """Some satisfying partial assignment, or None if unsatisfiable.
+
+        Variables absent from the result are don't-cares.
+        """
+        if f == self.FALSE:
+            return None
+        assignment: Dict[int, bool] = {}
+        while not self.is_terminal(f):
+            level, lo, hi = self._nodes[f]
+            if lo != self.FALSE:
+                assignment[level] = False
+                f = lo
+            else:
+                assignment[level] = True
+                f = hi
+        return assignment
+
+    def all_sat(self, f: int, levels: List[int]) -> Iterator[Dict[int, bool]]:
+        """Enumerate all total assignments over ``levels`` satisfying ``f``.
+
+        ``levels`` must be sorted ascending and contain the support.
+        """
+        def go(g: int, index: int,
+               acc: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if index == len(levels):
+                if g == self.TRUE:
+                    yield dict(acc)
+                return
+            level = levels[index]
+            node_level = self._nodes[g][0] if not self.is_terminal(g) else -1
+            for value in (False, True):
+                if g == self.FALSE:
+                    return
+                if node_level == level:
+                    branch = self._nodes[g][2] if value else self._nodes[g][1]
+                else:
+                    branch = g
+                acc[level] = value
+                yield from go(branch, index + 1, acc)
+            del acc[level]
+
+        yield from go(f, 0, {})
+
+    def to_expr(self, f: int, names: Optional[Dict[int, str]] = None) -> str:
+        """A readable if-then-else expression string, for debugging."""
+        if f == self.FALSE:
+            return "false"
+        if f == self.TRUE:
+            return "true"
+        level, lo, hi = self._nodes[f]
+        name = names.get(level, f"v{level}") if names else f"v{level}"
+        return (f"({name} ? {self.to_expr(hi, names)}"
+                f" : {self.to_expr(lo, names)})")

@@ -1,0 +1,141 @@
+"""Command-line driver.
+
+Usage::
+
+    repro-verify verify FILE.pas [--verbose] [--no-simulate]
+    repro-verify table  [NAME ...]      # the paper's §6 statistics table
+    repro-verify show   NAME            # print a bundled example program
+    repro-verify list                   # list the bundled programs
+
+``verify`` exits 0 when the program verifies, 1 when it fails, 2 on
+usage or front-end errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.programs import ALL_PROGRAMS, TABLE_PROGRAMS
+from repro.verify import verify_source
+from repro.verify.report import format_result, format_table
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Verify pointer programs with monadic second-order "
+                    "logic (PLDI 1997 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="verify an annotated Pascal program")
+    verify_cmd.add_argument("file", help="path to the .pas source, or a "
+                                         "bundled program name")
+    verify_cmd.add_argument("--verbose", action="store_true",
+                            help="list every obligation per subgoal")
+    verify_cmd.add_argument("--no-simulate", action="store_true",
+                            help="skip concrete simulation of "
+                                 "counterexamples")
+
+    table_cmd = commands.add_parser(
+        "table", help="regenerate the paper's statistics table")
+    table_cmd.add_argument("names", nargs="*",
+                           help="program subset (default: the paper's "
+                                "six table programs)")
+
+    show_cmd = commands.add_parser(
+        "show", help="print a bundled example program")
+    show_cmd.add_argument("name", choices=sorted(ALL_PROGRAMS))
+
+    synth_cmd = commands.add_parser(
+        "synth", help="synthesize the smallest well-formed store "
+                      "satisfying a store-logic formula")
+    synth_cmd.add_argument("formula",
+                           help="e.g. 'x<next*>p & <(List:blue)?>p'")
+    synth_cmd.add_argument("--program", default="reverse",
+                           help="bundled program or .pas file whose "
+                                "schema (types and variables) to use "
+                                "[default: reverse]")
+
+    commands.add_parser("list", help="list the bundled programs")
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        for name in ALL_PROGRAMS:
+            print(name)
+        return 0
+    if args.command == "show":
+        print(ALL_PROGRAMS[args.name], end="")
+        return 0
+    if args.command == "table":
+        names = args.names or list(TABLE_PROGRAMS)
+        results = []
+        for name in names:
+            source = _load(name)
+            results.append(verify_source(source))
+        print(format_table(results))
+        return 0 if all(result.valid for result in results) else 1
+    if args.command == "verify":
+        source = _load(args.file)
+        result = verify_source(source, simulate=not args.no_simulate)
+        print(format_result(result, verbose=args.verbose))
+        return 0 if result.valid else 1
+    if args.command == "synth":
+        return _synthesize(args.formula, args.program)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+def _synthesize(formula_text: str, program_name: str) -> int:
+    """Model finding: the smallest well-formed store satisfying a
+    formula, over the schema of the given program."""
+    from repro.mso.build import FormulaBuilder
+    from repro.mso.compile import Compiler
+    from repro.pascal import check_program, parse_program
+    from repro.storelogic import check_formula, parse_formula
+    from repro.storelogic.translate import translate_formula
+    from repro.stores import decode_store, render_store, render_symbols
+    from repro.symbolic.layout import TrackLayout
+    from repro.symbolic.state import initial_store
+    from repro.symbolic.wf import wf_string
+
+    program = check_program(parse_program(_load(program_name)))
+    schema = program.schema
+    formula = check_formula(parse_formula(formula_text), schema)
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    state = initial_store(schema, layout)
+    automaton = compiler.compile(FormulaBuilder.and_(
+        wf_string(layout), translate_formula(formula, state)))
+    word = automaton.shortest_accepted()
+    if word is None:
+        print("unsatisfiable: no well-formed store satisfies the "
+              "formula")
+        return 1
+    symbols = layout.word_to_symbols(word, compiler.tracks())
+    print("string:", render_symbols(symbols))
+    print(render_store(decode_store(schema, symbols)))
+    return 0
+
+
+def _load(name_or_path: str) -> str:
+    if name_or_path in ALL_PROGRAMS:
+        return ALL_PROGRAMS[name_or_path]
+    with open(name_or_path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

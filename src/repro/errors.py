@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+clients can catch a single type.  Sub-hierarchies mirror the pipeline
+stages: parsing, type checking, logic translation, and verification.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """A source text (Pascal program or store-logic formula) is malformed.
+
+    Attributes:
+        line: 1-based line of the offending token, or 0 if unknown.
+        column: 1-based column of the offending token, or 0 if unknown.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class TypeError_(ReproError):
+    """A Pascal program or a store-logic formula is ill-typed."""
+
+
+class StoreError(ReproError):
+    """A concrete store is malformed or an operation on it is invalid."""
+
+
+class ExecutionError(ReproError):
+    """The concrete interpreter hit a runtime error (nil dereference,
+    dangling dereference, dispose of a wrong variant, out of memory).
+
+    These are exactly the errors the verifier proves absent.
+    """
+
+
+class TranslationError(ReproError):
+    """A store-logic formula could not be translated to M2L (for
+    example, it mentions an undeclared variable or field)."""
+
+
+class VerificationError(ReproError):
+    """The verification engine was used incorrectly (for example, a
+    triple was built from an unchecked program)."""

@@ -1,0 +1,12 @@
+"""Concrete execution of checked programs over concrete stores.
+
+The reference semantics of the Pascal subset: used to simulate
+counterexamples (the paper's "cartoon of store modifications", §5) and
+as the oracle in differential tests against the symbolic engine.
+"""
+
+from repro.exec.interpreter import (AssertionFailure, Interpreter,
+                                    OutOfMemory, Trace, TraceStep)
+
+__all__ = ["AssertionFailure", "Interpreter", "OutOfMemory", "Trace",
+           "TraceStep"]

@@ -1,0 +1,276 @@
+"""The concrete interpreter for typed programs.
+
+Semantics mirror the symbolic transduction engine exactly:
+
+* dereferencing nil, a garbage cell, a variant without the field, or
+  an uninitialised field raises :class:`ExecutionError`;
+* guards are short-circuit; reading the tag of nil or garbage (or of
+  a record of an unexpected type) is an error;
+* ``new`` converts the lowest-id garbage cell (the deterministic
+  allocator) and raises :class:`OutOfMemory` when none exists; the
+  fresh cell's field starts uninitialised; the target lvalue is
+  evaluated *after* allocation;
+* ``dispose`` requires a record cell of exactly the stated type and
+  variant; the cell becomes garbage with no outgoing pointer, and any
+  other references to it dangle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.pascal.typed import (FieldLhs, TAnd, TAssertStmt, TAssign,
+                                TDispose, TIf, TNew, TNot, TOr, TPath,
+                                TPtrCompare, TVariantTest, TWhile,
+                                TypedProgram, VarLhs)
+from repro.storelogic.check import check_formula
+from repro.storelogic.eval import eval_formula
+from repro.storelogic.parser import parse_formula
+from repro.stores.model import NIL_ID, CellKind, Store
+from repro.stores.render import render_store
+
+
+class OutOfMemory(ExecutionError):
+    """``new`` found no garbage cell — the excused alloc condition."""
+
+
+class AssertionFailure(ExecutionError):
+    """A cut-point assertion evaluated to false during simulation."""
+
+
+@dataclass
+class TraceStep:
+    """One frame of the execution cartoon."""
+
+    statement: str
+    line: int
+    picture: str
+
+
+@dataclass
+class Trace:
+    """The statement-by-statement record of one run."""
+
+    steps: List[TraceStep] = field(default_factory=list)
+    failure: Optional[str] = None
+
+    def render(self) -> str:
+        """Multi-line rendition of the whole cartoon."""
+        blocks = []
+        for index, step in enumerate(self.steps):
+            header = f"[{index}] {step.statement}"
+            blocks.append(header + "\n" + _indent(step.picture))
+        if self.failure:
+            blocks.append(f"FAILURE: {self.failure}")
+        return "\n".join(blocks)
+
+
+def _indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+class Interpreter:
+    """Executes a typed program's statements on a concrete store."""
+
+    def __init__(self, program: TypedProgram,
+                 check_assertions: bool = False,
+                 max_loop_iterations: int = 10000) -> None:
+        self.program = program
+        self.check_assertions = check_assertions
+        self.max_loop_iterations = max_loop_iterations
+
+    # ------------------------------------------------------------------
+
+    def run(self, store: Store, trace: Optional[Trace] = None) -> Store:
+        """Run the whole program body in place; returns the store.
+
+        Raises ExecutionError on runtime errors.  When a ``trace`` is
+        supplied, a frame is appended after every primitive statement.
+        """
+        self._sequence(store, self.program.body, trace)
+        return store
+
+    def run_statements(self, store: Store, statements: Sequence[object],
+                       trace: Optional[Trace] = None) -> Store:
+        """Run an arbitrary (typed) statement list on a store.
+
+        Used by the verifier to simulate a counterexample on just the
+        statements of the failing subgoal.
+        """
+        self._sequence(store, statements, trace)
+        return store
+
+    def _sequence(self, store: Store, statements: Sequence[object],
+                  trace: Optional[Trace]) -> None:
+        for statement in statements:
+            self._step(store, statement, trace)
+
+    def _step(self, store: Store, statement: object,
+              trace: Optional[Trace]) -> None:
+        try:
+            self._dispatch(store, statement, trace)
+        except ExecutionError as exc:
+            if trace is not None and trace.failure is None:
+                trace.failure = str(exc)
+                trace.steps.append(TraceStep(str(statement),
+                                             getattr(statement, "line", 0),
+                                             render_store(store)))
+            raise
+        if trace is not None and not isinstance(statement, (TIf, TWhile)):
+            trace.steps.append(TraceStep(str(statement),
+                                         getattr(statement, "line", 0),
+                                         render_store(store)))
+
+    def _dispatch(self, store: Store, statement: object,
+                  trace: Optional[Trace]) -> None:
+        if isinstance(statement, TAssign):
+            target = NIL_ID if statement.rhs is None \
+                else self._path_value(store, statement.rhs)
+            self._store_into(store, statement.lhs, target)
+        elif isinstance(statement, TNew):
+            self._new(store, statement)
+        elif isinstance(statement, TDispose):
+            self._dispose(store, statement)
+        elif isinstance(statement, TIf):
+            if self._guard(store, statement.cond):
+                self._sequence(store, statement.then_body, trace)
+            else:
+                self._sequence(store, statement.else_body, trace)
+        elif isinstance(statement, TWhile):
+            iterations = 0
+            while self._guard(store, statement.cond):
+                self._check_assert(store, statement.invariant)
+                self._sequence(store, statement.body, trace)
+                iterations += 1
+                if iterations > self.max_loop_iterations:
+                    raise ExecutionError(
+                        f"line {statement.line}: loop exceeded "
+                        f"{self.max_loop_iterations} iterations")
+        elif isinstance(statement, TAssertStmt):
+            self._check_assert(store, statement.annotation, fail=True)
+        else:
+            raise ExecutionError(f"unknown statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # Paths, lvalues, guards
+    # ------------------------------------------------------------------
+
+    def _path_value(self, store: Store, path: TPath) -> int:
+        ident = store.var(path.var)
+        for field_name, _ in path.steps:
+            ident = self._deref(store, ident, field_name, str(path))
+        return ident
+
+    def _deref(self, store: Store, ident: int, field_name: str,
+               context: str) -> int:
+        cell = store.cell(ident)
+        if cell.kind is CellKind.NIL:
+            raise ExecutionError(f"{context}: dereference of nil")
+        if cell.kind is CellKind.GARBAGE:
+            raise ExecutionError(
+                f"{context}: dereference of a dangling pointer "
+                f"(cell {ident} was disposed)")
+        record = store.schema.record(cell.type_name or "")
+        info = record.field_of(cell.variant or "")
+        if info is None or info.name != field_name:
+            raise ExecutionError(
+                f"{context}: variant {cell.variant} of {cell.type_name} "
+                f"has no field {field_name}")
+        if cell.next is None:
+            raise ExecutionError(
+                f"{context}: field {field_name} of cell {ident} is "
+                f"uninitialised")
+        return cell.next
+
+    def _store_into(self, store: Store, lhs: object, target: int) -> None:
+        if isinstance(lhs, VarLhs):
+            store.set_var(lhs.name, target)
+            return
+        assert isinstance(lhs, FieldLhs)
+        ident = self._path_value(store, lhs.cell)
+        cell = store.cell(ident)
+        if cell.kind is not CellKind.RECORD:
+            raise ExecutionError(
+                f"{lhs}: writing a field of a {cell.kind.value} cell")
+        record = store.schema.record(cell.type_name or "")
+        info = record.field_of(cell.variant or "")
+        if info is None or info.name != lhs.field:
+            raise ExecutionError(
+                f"{lhs}: variant {cell.variant} of {cell.type_name} has "
+                f"no field {lhs.field}")
+        cell.next = target
+
+    def _guard(self, store: Store, guard: object) -> bool:
+        if isinstance(guard, TPtrCompare):
+            left = NIL_ID if guard.left is None \
+                else self._path_value(store, guard.left)
+            right = NIL_ID if guard.right is None \
+                else self._path_value(store, guard.right)
+            return (left != right) if guard.negated else (left == right)
+        if isinstance(guard, TVariantTest):
+            ident = self._path_value(store, guard.cell)
+            cell = store.cell(ident)
+            if cell.kind is not CellKind.RECORD or \
+                    cell.type_name != guard.type_name:
+                raise ExecutionError(
+                    f"{guard}: reading the tag of cell {ident}, which is "
+                    f"not a {guard.type_name} record")
+            matches = cell.variant == guard.variant
+            return (not matches) if guard.negated else matches
+        if isinstance(guard, TAnd):
+            return self._guard(store, guard.left) and \
+                self._guard(store, guard.right)
+        if isinstance(guard, TOr):
+            return self._guard(store, guard.left) or \
+                self._guard(store, guard.right)
+        if isinstance(guard, TNot):
+            return not self._guard(store, guard.inner)
+        raise ExecutionError(f"unknown guard {guard!r}")
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def _new(self, store: Store, statement: TNew) -> None:
+        ident = store.first_garbage()
+        if ident is None:
+            raise OutOfMemory(
+                f"line {statement.line}: new({statement.lhs}, "
+                f"{statement.variant}) found no free cell")
+        cell = store.cell(ident)
+        cell.kind = CellKind.RECORD
+        cell.type_name = statement.type_name
+        cell.variant = statement.variant
+        cell.next = None
+        self._store_into(store, statement.lhs, ident)
+
+    def _dispose(self, store: Store, statement: TDispose) -> None:
+        ident = self._path_value(store, statement.path)
+        cell = store.cell(ident)
+        if cell.kind is not CellKind.RECORD or \
+                cell.type_name != statement.type_name or \
+                cell.variant != statement.variant:
+            raise ExecutionError(
+                f"line {statement.line}: dispose({statement.path}, "
+                f"{statement.variant}) on a cell that is not a "
+                f"{statement.type_name}:{statement.variant} record")
+        cell.kind = CellKind.GARBAGE
+        cell.type_name = None
+        cell.variant = None
+        cell.next = None
+
+    # ------------------------------------------------------------------
+    # Assertions
+    # ------------------------------------------------------------------
+
+    def _check_assert(self, store: Store, annotation,
+                      fail: bool = False) -> None:
+        if annotation is None or not (self.check_assertions or fail):
+            return
+        formula = check_formula(parse_formula(annotation.text),
+                                self.program.schema)
+        if not eval_formula(formula, store):
+            raise AssertionFailure(
+                f"assertion {{{annotation.text}}} does not hold")

@@ -1,0 +1,37 @@
+"""Monadic second-order logic on finite strings (M2L-Str).
+
+The decidable logic at the heart of the paper (§6): formulas denote
+regular sets of strings, and the compiler in :mod:`repro.mso.compile`
+reduces a formula to a minimal deterministic automaton with
+MTBDD-encoded transitions — our re-implementation of the Mona engine.
+
+A *model* is a finite string: positions ``0 .. n-1``.  First-order
+variables denote positions, second-order variables denote sets of
+positions.  Free variables are realised as automaton *tracks*: a model
+plus an assignment is a word of bit vectors, one bit per variable per
+position.
+
+The public surface:
+
+* :mod:`repro.mso.ast` — formula and variable representations;
+* :mod:`repro.mso.build` — a convenience builder with the usual
+  derived connectives and predicates;
+* :mod:`repro.mso.compile` — formula → minimal :class:`SymbolicDfa`,
+  with the statistics hooks behind the paper's evaluation table
+  (formula size, largest automaton, BDD nodes);
+* :mod:`repro.mso.interp` — brute-force finite-model evaluation (the
+  test oracle);
+* :mod:`repro.mso.pretty` — formula pretty-printer.
+"""
+
+from repro.mso.ast import (All1, All2, And, Ex1, Ex2, FALSE, Formula, Iff,
+                           Implies, Not, Or, TRUE, Var, VarKind)
+from repro.mso.build import FormulaBuilder
+from repro.mso.compile import CompilationStats, Compiler
+from repro.mso.parser import parse_m2l
+
+__all__ = [
+    "All1", "All2", "And", "CompilationStats", "Compiler", "Ex1", "Ex2",
+    "FALSE", "Formula", "FormulaBuilder", "Iff", "Implies", "Not", "Or",
+    "TRUE", "Var", "VarKind", "parse_m2l",
+]

@@ -1,0 +1,370 @@
+"""Abstract syntax of monadic second-order logic on finite strings.
+
+A formula is interpreted over a finite string with positions
+``0 .. n-1``:
+
+* **first-order** variables (:attr:`VarKind.FIRST`) denote positions;
+* **second-order** variables (:attr:`VarKind.SECOND`) denote sets of
+  positions.
+
+Atomic predicates cover membership, set inclusion and equality,
+position ordering, successor, and the two endpoint tests.  Everything
+else (union/intersection of sets, bounded quantification, ...) is
+definable and provided by :class:`repro.mso.build.FormulaBuilder`.
+
+Formula nodes are immutable.  They use *identity* equality: the
+compiler memoises on object identity, so sharing subformula objects
+(which the store-logic translation does aggressively) makes compilation
+cache-friendly.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+class VarKind(enum.Enum):
+    """Whether a variable denotes a position or a set of positions."""
+
+    FIRST = "first"
+    SECOND = "second"
+
+
+_fresh_ids = itertools.count()
+
+
+@dataclass(frozen=True, eq=False)
+class Var:
+    """A logic variable.
+
+    Two ``Var`` objects are distinct variables even if they share a
+    name; names exist for printing.  Use :meth:`fresh` for gensyms.
+    """
+
+    name: str
+    kind: VarKind
+
+    @staticmethod
+    def first(name: str) -> "Var":
+        """A first-order (position) variable."""
+        return Var(name, VarKind.FIRST)
+
+    @staticmethod
+    def second(name: str) -> "Var":
+        """A second-order (position-set) variable."""
+        return Var(name, VarKind.SECOND)
+
+    @staticmethod
+    def fresh(prefix: str, kind: VarKind) -> "Var":
+        """A variable guaranteed distinct from every other."""
+        return Var(f"{prefix}#{next(_fresh_ids)}", kind)
+
+    def __repr__(self) -> str:
+        sigil = "" if self.kind is VarKind.FIRST else "$"
+        return f"{sigil}{self.name}"
+
+
+@dataclass(frozen=True, eq=False)
+class Formula:
+    """Base class of all formula nodes."""
+
+    def children(self) -> Tuple["Formula", ...]:
+        """Immediate subformulas."""
+        return ()
+
+    def size(self) -> int:
+        """Number of distinct AST nodes (formulas are DAGs: shared
+        subformulas count once) — the paper's formula-size metric."""
+        count = 0
+        for _ in self.iter_nodes():
+            count += 1
+        return count
+
+    def free_vars(self) -> frozenset:
+        """Variables occurring free in the formula.
+
+        Relies on the library-wide discipline that every quantifier
+        binds a fresh variable (the compiler enforces it): the free
+        variables are then the atom variables minus the bound ones,
+        computable in one linear DAG traversal.
+        """
+        used: set = set()
+        bound: set = set()
+        for node in self.iter_nodes():
+            if isinstance(node, Atom):
+                used.update(node.vars)
+            elif isinstance(node, _Quant):
+                bound.add(node.var)
+        return frozenset(used - bound)
+
+    def iter_nodes(self) -> Iterator["Formula"]:
+        """Traversal of all distinct nodes (DAG-aware)."""
+        seen: set = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(node.children())
+
+    def __str__(self) -> str:
+        from repro.mso.pretty import pretty
+        return pretty(self)
+
+
+# ----------------------------------------------------------------------
+# Constants
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class _Const(Formula):
+    value: bool
+
+
+#: The valid formula.
+TRUE = _Const(True)
+#: The unsatisfiable formula.
+FALSE = _Const(False)
+
+
+# ----------------------------------------------------------------------
+# Atoms
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class Atom(Formula):
+    """Base class of atomic predicates; ``vars`` lists the arguments."""
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, eq=False)
+class Mem(Atom):
+    """``pos ∈ pset`` — a position belongs to a set."""
+
+    pos: Var
+    pset: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.pos, self.pset)
+
+
+@dataclass(frozen=True, eq=False)
+class Sub(Atom):
+    """``left ⊆ right`` over sets."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class EqS(Atom):
+    """Set equality."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class EmptyS(Atom):
+    """``pset = ∅``."""
+
+    pset: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.pset,)
+
+
+@dataclass(frozen=True, eq=False)
+class SingletonS(Atom):
+    """``|pset| = 1`` — the encoding constraint for first-order tracks."""
+
+    pset: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.pset,)
+
+
+@dataclass(frozen=True, eq=False)
+class EqF(Atom):
+    """Position equality."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class LessF(Atom):
+    """Strict position order ``left < right``."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class SuccF(Atom):
+    """``right = left + 1``."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class FirstF(Atom):
+    """``pos = 0``."""
+
+    pos: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.pos,)
+
+
+@dataclass(frozen=True, eq=False)
+class LastF(Atom):
+    """``pos = n - 1`` (the final string position)."""
+
+    pos: Var
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        return (self.pos,)
+
+
+# ----------------------------------------------------------------------
+# Connectives
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class Not(Formula):
+    """Negation."""
+
+    inner: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.inner,)
+
+
+@dataclass(frozen=True, eq=False)
+class And(Formula):
+    """Binary conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class Or(Formula):
+    """Binary disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class Implies(Formula):
+    """Implication."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class Iff(Formula):
+    """Bi-implication."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class _Quant(Formula):
+    """Base class of quantifiers binding a single variable."""
+
+    var: Var
+    body: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, eq=False)
+class Ex1(_Quant):
+    """First-order existential: some position satisfies the body."""
+
+    def __post_init__(self) -> None:
+        if self.var.kind is not VarKind.FIRST:
+            raise ValueError(f"Ex1 requires a first-order variable, "
+                             f"got {self.var!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class All1(_Quant):
+    """First-order universal."""
+
+    def __post_init__(self) -> None:
+        if self.var.kind is not VarKind.FIRST:
+            raise ValueError(f"All1 requires a first-order variable, "
+                             f"got {self.var!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class Ex2(_Quant):
+    """Second-order existential: some set of positions satisfies it."""
+
+    def __post_init__(self) -> None:
+        if self.var.kind is not VarKind.SECOND:
+            raise ValueError(f"Ex2 requires a second-order variable, "
+                             f"got {self.var!r}")
+
+
+@dataclass(frozen=True, eq=False)
+class All2(_Quant):
+    """Second-order universal."""
+
+    def __post_init__(self) -> None:
+        if self.var.kind is not VarKind.SECOND:
+            raise ValueError(f"All2 requires a second-order variable, "
+                             f"got {self.var!r}")

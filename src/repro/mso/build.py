@@ -1,0 +1,186 @@
+"""Convenience constructors for M2L formulas.
+
+The translation from the store logic produces large conjunctions and
+quantifier blocks; this module keeps that code readable.  All methods
+are static — the class is a namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.mso.ast import (All1, All2, And, EmptyS, EqF, EqS, Ex1, Ex2,
+                           FALSE, FirstF, Formula, Iff, Implies, LastF,
+                           LessF, Mem, Not, Or, SingletonS, Sub, SuccF,
+                           TRUE, Var)
+
+
+class FormulaBuilder:
+    """Smart constructors with light simplification.
+
+    The constant-folding here is deliberately shallow (only TRUE/FALSE
+    absorption): it keeps generated formulas small without obscuring
+    the correspondence to the paper's definitions.
+    """
+
+    # -- connectives ---------------------------------------------------
+
+    @staticmethod
+    def and_(left: Formula, right: Formula) -> Formula:
+        """Conjunction with unit/zero folding."""
+        if left is TRUE:
+            return right
+        if right is TRUE:
+            return left
+        if left is FALSE or right is FALSE:
+            return FALSE
+        return And(left, right)
+
+    @staticmethod
+    def or_(left: Formula, right: Formula) -> Formula:
+        """Disjunction with unit/zero folding."""
+        if left is FALSE:
+            return right
+        if right is FALSE:
+            return left
+        if left is TRUE or right is TRUE:
+            return TRUE
+        return Or(left, right)
+
+    @staticmethod
+    def not_(inner: Formula) -> Formula:
+        """Negation with constant folding and double-negation removal."""
+        if inner is TRUE:
+            return FALSE
+        if inner is FALSE:
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.inner
+        return Not(inner)
+
+    @staticmethod
+    def implies(left: Formula, right: Formula) -> Formula:
+        """Implication with constant folding."""
+        if left is TRUE:
+            return right
+        if left is FALSE or right is TRUE:
+            return TRUE
+        if right is FALSE:
+            return FormulaBuilder.not_(left)
+        return Implies(left, right)
+
+    @staticmethod
+    def iff(left: Formula, right: Formula) -> Formula:
+        """Bi-implication with constant folding."""
+        if left is TRUE:
+            return right
+        if right is TRUE:
+            return left
+        if left is FALSE:
+            return FormulaBuilder.not_(right)
+        if right is FALSE:
+            return FormulaBuilder.not_(left)
+        return Iff(left, right)
+
+    @staticmethod
+    def conj(parts: Iterable[Formula]) -> Formula:
+        """Right-nested conjunction of arbitrarily many formulas."""
+        result = TRUE
+        for part in parts:
+            result = FormulaBuilder.and_(result, part)
+        return result
+
+    @staticmethod
+    def disj(parts: Iterable[Formula]) -> Formula:
+        """Right-nested disjunction of arbitrarily many formulas."""
+        result = FALSE
+        for part in parts:
+            result = FormulaBuilder.or_(result, part)
+        return result
+
+    # -- quantifiers ---------------------------------------------------
+
+    @staticmethod
+    def ex1(variables: Sequence[Var], body: Formula) -> Formula:
+        """First-order existential block."""
+        for var in reversed(variables):
+            body = Ex1(var, body)
+        return body
+
+    @staticmethod
+    def all1(variables: Sequence[Var], body: Formula) -> Formula:
+        """First-order universal block."""
+        for var in reversed(variables):
+            body = All1(var, body)
+        return body
+
+    @staticmethod
+    def ex2(variables: Sequence[Var], body: Formula) -> Formula:
+        """Second-order existential block."""
+        for var in reversed(variables):
+            body = Ex2(var, body)
+        return body
+
+    @staticmethod
+    def all2(variables: Sequence[Var], body: Formula) -> Formula:
+        """Second-order universal block."""
+        for var in reversed(variables):
+            body = All2(var, body)
+        return body
+
+    # -- atoms ---------------------------------------------------------
+
+    @staticmethod
+    def mem(pos: Var, pset: Var) -> Formula:
+        """``pos ∈ pset``."""
+        return Mem(pos, pset)
+
+    @staticmethod
+    def sub(left: Var, right: Var) -> Formula:
+        """``left ⊆ right``."""
+        return Sub(left, right)
+
+    @staticmethod
+    def eq_set(left: Var, right: Var) -> Formula:
+        """Set equality."""
+        return EqS(left, right)
+
+    @staticmethod
+    def eq_pos(left: Var, right: Var) -> Formula:
+        """Position equality."""
+        return EqF(left, right)
+
+    @staticmethod
+    def less(left: Var, right: Var) -> Formula:
+        """``left < right``."""
+        return LessF(left, right)
+
+    @staticmethod
+    def leq(left: Var, right: Var) -> Formula:
+        """``left <= right``."""
+        return FormulaBuilder.or_(LessF(left, right), EqF(left, right))
+
+    @staticmethod
+    def succ(left: Var, right: Var) -> Formula:
+        """``right = left + 1``."""
+        return SuccF(left, right)
+
+    @staticmethod
+    def first(pos: Var) -> Formula:
+        """``pos = 0``."""
+        return FirstF(pos)
+
+    @staticmethod
+    def last(pos: Var) -> Formula:
+        """``pos`` is the final position."""
+        return LastF(pos)
+
+    @staticmethod
+    def empty(pset: Var) -> Formula:
+        """``pset = ∅``."""
+        return EmptyS(pset)
+
+    @staticmethod
+    def singleton(pset: Var) -> Formula:
+        """``|pset| = 1``."""
+        return SingletonS(pset)

@@ -1,0 +1,399 @@
+"""Compilation of M2L formulas into symbolic automata.
+
+This is the re-implementation of the Mona engine the paper's decision
+procedure runs on (§6): every formula is reduced, bottom-up, to a
+minimal deterministic automaton over bit-vector symbols, one track per
+free variable.
+
+* atoms map to small hand-written base automata;
+* boolean connectives map to products and complements;
+* ``ex2`` maps to track projection followed by determinisation;
+* ``ex1`` is the standard Mona reduction: conjoin a singleton
+  constraint on the variable's track, then project;
+* universal quantifiers are the De Morgan duals.
+
+Every intermediate automaton is minimised (Moore refinement over the
+shared MTBDDs) unless ``minimize_during=False`` — an ablation switch
+used by the benchmark harness.
+
+The compiler records the statistics the paper's evaluation table
+reports: the largest automaton (states) and the largest transition
+BDD (nodes) encountered during the reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.bdd.mtbdd import Mtbdd
+from repro.automata.symbolic import SymbolicDfa, delta_from_function
+from repro.mso import ast
+from repro.errors import TranslationError
+
+
+@dataclass
+class CompilationStats:
+    """Running statistics of one compilation (paper §6 metrics)."""
+
+    #: Largest number of states of any intermediate automaton.
+    max_states: int = 0
+    #: Largest shared-BDD node count of any intermediate automaton.
+    max_nodes: int = 0
+    #: Number of binary product constructions performed.
+    products: int = 0
+    #: Number of track projections (quantifier eliminations).
+    projections: int = 0
+    #: Number of minimisation passes.
+    minimizations: int = 0
+    #: Number of formula nodes compiled (cache misses only).
+    compiled_nodes: int = 0
+
+    def record(self, dfa: SymbolicDfa) -> SymbolicDfa:
+        """Fold one intermediate automaton into the running maxima."""
+        if dfa.num_states > self.max_states:
+            self.max_states = dfa.num_states
+        nodes = dfa.bdd_node_count()
+        if nodes > self.max_nodes:
+            self.max_nodes = nodes
+        return dfa
+
+    def merge(self, other: "CompilationStats") -> None:
+        """Accumulate another compilation's statistics into this one."""
+        self.max_states = max(self.max_states, other.max_states)
+        self.max_nodes = max(self.max_nodes, other.max_nodes)
+        self.products += other.products
+        self.projections += other.projections
+        self.minimizations += other.minimizations
+        self.compiled_nodes += other.compiled_nodes
+
+
+class Compiler:
+    """Compiles M2L formulas to minimal symbolic DFAs.
+
+    A compiler owns a track allocation (variable -> bit position) and
+    an MTBDD manager; automata produced by the same compiler can be
+    combined freely.
+
+    Args:
+        mgr: MTBDD manager to use; a fresh one by default.
+        minimize_during: minimise after every operation (Mona's
+            behaviour).  Disable only for the ablation benchmark.
+    """
+
+    def __init__(self, mgr: Optional[Mtbdd] = None,
+                 minimize_during: bool = True) -> None:
+        self.mgr = mgr if mgr is not None else Mtbdd()
+        self.minimize_during = minimize_during
+        self.stats = CompilationStats()
+        self._tracks: Dict[ast.Var, int] = {}
+        self._memo: Dict[int, SymbolicDfa] = {}
+        # Keep formulas alive so id()-keyed memo entries stay valid.
+        self._memo_keys: Dict[int, ast.Formula] = {}
+
+    # ------------------------------------------------------------------
+    # Track allocation
+    # ------------------------------------------------------------------
+
+    def track(self, var: ast.Var) -> int:
+        """The track (BDD level) assigned to ``var``, allocating it on
+        first use.  Allocation order is first-come, which keeps related
+        variables adjacent in the BDD order."""
+        found = self._tracks.get(var)
+        if found is None:
+            found = len(self._tracks)
+            self._tracks[var] = found
+        return found
+
+    def tracks(self) -> Dict[ast.Var, int]:
+        """A copy of the current variable-to-track map."""
+        return dict(self._tracks)
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def compile(self, formula: ast.Formula) -> SymbolicDfa:
+        """Compile ``formula`` to a minimal automaton.
+
+        Free first-order variables are constrained to singleton tracks,
+        so the resulting language contains exactly the well-encoded
+        (string, assignment) pairs satisfying the formula.
+        """
+        self._check_no_rebinding(formula)
+        result = self._compile(formula)
+        for var in sorted(formula.free_vars(), key=lambda v: v.name):
+            if var.kind is ast.VarKind.FIRST:
+                result = self._intersect(result,
+                                         self._aut_singleton(self.track(var)))
+        return self._minimize(result, force=True)
+
+    def is_valid(self, formula: ast.Formula) -> bool:
+        """Validity over all strings and well-encoded assignments.
+
+        A formula with free variables is valid when it holds for every
+        string and every assignment of its free variables (first-order
+        variables ranging over positions).  With free first-order
+        variables the empty string admits no assignment, so it is
+        ignored; otherwise validity includes the empty string.
+        """
+        # compile() conjoins the singleton encoding constraints for the
+        # free first-order variables, so emptiness of the negation's
+        # language over well-encoded words is exactly validity.
+        return self.compile(ast.Not(formula)).is_empty()
+
+    # ------------------------------------------------------------------
+    # Recursive compilation
+    # ------------------------------------------------------------------
+
+    def _compile(self, formula: ast.Formula) -> SymbolicDfa:
+        cached = self._memo.get(id(formula))
+        if cached is not None:
+            return cached
+        result = self._compile_uncached(formula)
+        result = self._minimize(result)
+        self.stats.record(result)
+        self._memo[id(formula)] = result
+        self._memo_keys[id(formula)] = formula
+        self.stats.compiled_nodes += 1
+        return result
+
+    def _compile_uncached(self, formula: ast.Formula) -> SymbolicDfa:
+        if formula is ast.TRUE:
+            return self._aut_const(True)
+        if formula is ast.FALSE:
+            return self._aut_const(False)
+        if isinstance(formula, ast.Atom):
+            return self._restrict_fo(self._compile_atom(formula), formula)
+        if isinstance(formula, ast.Not):
+            return self._compile(formula.inner).complement()
+        if isinstance(formula, ast.And):
+            return self._intersect(self._compile(formula.left),
+                                   self._compile(formula.right))
+        if isinstance(formula, ast.Or):
+            return self._product(self._compile(formula.left),
+                                 self._compile(formula.right),
+                                 lambda a, b: a or b)
+        if isinstance(formula, ast.Implies):
+            return self._product(self._compile(formula.left),
+                                 self._compile(formula.right),
+                                 lambda a, b: (not a) or b)
+        if isinstance(formula, ast.Iff):
+            return self._product(self._compile(formula.left),
+                                 self._compile(formula.right),
+                                 lambda a, b: a == b)
+        if isinstance(formula, ast.Ex2):
+            return self._project(self._compile(formula.body),
+                                 self.track(formula.var))
+        if isinstance(formula, ast.All2):
+            inner = self._compile(formula.body).complement()
+            return self._project(inner, self.track(formula.var)).complement()
+        if isinstance(formula, ast.Ex1):
+            track = self.track(formula.var)
+            inner = self._intersect(self._compile(formula.body),
+                                    self._aut_singleton(track))
+            return self._project(inner, track)
+        if isinstance(formula, ast.All1):
+            track = self.track(formula.var)
+            negated = self._compile(formula.body).complement()
+            witness = self._intersect(negated, self._aut_singleton(track))
+            return self._project(witness, track).complement()
+        raise TranslationError(f"cannot compile formula node {formula!r}")
+
+    def _restrict_fo(self, dfa: SymbolicDfa,
+                     atom: ast.Atom) -> SymbolicDfa:
+        """Conjoin the singleton encoding restriction for every
+        first-order variable of an atom.
+
+        Doing this eagerly (Mona's variable restriction) is what keeps
+        intermediate automata small: atom truth then resolves at the
+        variable's unique position, so products of many atoms over the
+        same variable minimise to a handful of states instead of
+        tracking subset combinations.
+        """
+        for var in atom.vars:
+            if var.kind is ast.VarKind.FIRST:
+                dfa = dfa.product(self._aut_singleton(self.track(var)),
+                                  lambda a, b: a and b)
+        return dfa
+
+    def _compile_atom(self, formula: ast.Atom) -> SymbolicDfa:
+        if isinstance(formula, ast.Mem):
+            return self._aut_sub(self.track(formula.pos),
+                                 self.track(formula.pset))
+        if isinstance(formula, ast.Sub):
+            return self._aut_sub(self.track(formula.left),
+                                 self.track(formula.right))
+        if isinstance(formula, (ast.EqS, ast.EqF)):
+            return self._aut_eq(self.track(formula.left),
+                                self.track(formula.right))
+        if isinstance(formula, ast.EmptyS):
+            return self._aut_empty(self.track(formula.pset))
+        if isinstance(formula, ast.SingletonS):
+            return self._aut_singleton(self.track(formula.pset))
+        if isinstance(formula, ast.LessF):
+            return self._aut_less(self.track(formula.left),
+                                  self.track(formula.right))
+        if isinstance(formula, ast.SuccF):
+            return self._aut_succ(self.track(formula.left),
+                                  self.track(formula.right))
+        if isinstance(formula, ast.FirstF):
+            return self._aut_first(self.track(formula.pos))
+        if isinstance(formula, ast.LastF):
+            return self._aut_last(self.track(formula.pos))
+        raise TranslationError(f"cannot compile atom {formula!r}")
+
+    # ------------------------------------------------------------------
+    # Operation wrappers (stats + minimisation discipline)
+    # ------------------------------------------------------------------
+
+    def _minimize(self, dfa: SymbolicDfa, force: bool = False) -> SymbolicDfa:
+        if not (self.minimize_during or force):
+            return dfa.trim()
+        self.stats.minimizations += 1
+        return dfa.minimize()
+
+    def _product(self, left: SymbolicDfa, right: SymbolicDfa,
+                 accept: Callable[[bool, bool], bool]) -> SymbolicDfa:
+        self.stats.products += 1
+        result = left.product(right, accept)
+        self.stats.record(result)
+        return result
+
+    def _intersect(self, left: SymbolicDfa,
+                   right: SymbolicDfa) -> SymbolicDfa:
+        return self._product(left, right, lambda a, b: a and b)
+
+    def _project(self, dfa: SymbolicDfa, track: int) -> SymbolicDfa:
+        self.stats.projections += 1
+        result = dfa.project(track).determinize()
+        self.stats.record(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Base automata
+    # ------------------------------------------------------------------
+
+    def _dfa(self, num_states: int, accepting, deltas) -> SymbolicDfa:
+        return SymbolicDfa(mgr=self.mgr, num_states=num_states, initial=0,
+                           accepting=frozenset(accepting), delta=deltas)
+
+    def _aut_const(self, value: bool) -> SymbolicDfa:
+        loop = self.mgr.leaf(0)
+        return self._dfa(1, [0] if value else [], [loop])
+
+    def _aut_sub(self, t_left: int, t_right: int) -> SymbolicDfa:
+        """Accepts iff at every position, left-bit implies right-bit."""
+        def state0(a: Dict[int, bool]) -> int:
+            return 1 if a[t_left] and not a[t_right] else 0
+
+        delta0 = delta_from_function(self.mgr, [t_left, t_right], state0)
+        sink = self.mgr.leaf(1)
+        return self._dfa(2, [0], [delta0, sink])
+
+    def _aut_eq(self, t_left: int, t_right: int) -> SymbolicDfa:
+        """Accepts iff the two tracks agree at every position."""
+        def state0(a: Dict[int, bool]) -> int:
+            return 0 if a[t_left] == a[t_right] else 1
+
+        delta0 = delta_from_function(self.mgr, [t_left, t_right], state0)
+        sink = self.mgr.leaf(1)
+        return self._dfa(2, [0], [delta0, sink])
+
+    def _aut_empty(self, track: int) -> SymbolicDfa:
+        """Accepts iff the track has no set bit."""
+        delta0 = delta_from_function(self.mgr, [track],
+                                     lambda a: 1 if a[track] else 0)
+        sink = self.mgr.leaf(1)
+        return self._dfa(2, [0], [delta0, sink])
+
+    def _aut_singleton(self, track: int) -> SymbolicDfa:
+        """Accepts iff the track has exactly one set bit."""
+        delta0 = delta_from_function(self.mgr, [track],
+                                     lambda a: 1 if a[track] else 0)
+        delta1 = delta_from_function(self.mgr, [track],
+                                     lambda a: 2 if a[track] else 1)
+        sink = self.mgr.leaf(2)
+        return self._dfa(3, [1], [delta0, delta1, sink])
+
+    def _aut_less(self, t_left: int, t_right: int) -> SymbolicDfa:
+        """Accepts singleton tracks with the left bit strictly earlier."""
+        def state0(a: Dict[int, bool]) -> int:
+            if a[t_left] and a[t_right]:
+                return 3
+            if a[t_left]:
+                return 1
+            if a[t_right]:
+                return 3
+            return 0
+
+        def state1(a: Dict[int, bool]) -> int:
+            if a[t_left]:
+                return 3
+            return 2 if a[t_right] else 1
+
+        def state2(a: Dict[int, bool]) -> int:
+            return 3 if (a[t_left] or a[t_right]) else 2
+
+        tracks = [t_left, t_right]
+        return self._dfa(4, [2], [
+            delta_from_function(self.mgr, tracks, state0),
+            delta_from_function(self.mgr, tracks, state1),
+            delta_from_function(self.mgr, tracks, state2),
+            self.mgr.leaf(3)])
+
+    def _aut_succ(self, t_left: int, t_right: int) -> SymbolicDfa:
+        """Accepts singleton tracks with right at left's next position."""
+        def state0(a: Dict[int, bool]) -> int:
+            if a[t_left] and not a[t_right]:
+                return 1
+            if a[t_left] or a[t_right]:
+                return 3
+            return 0
+
+        def state1(a: Dict[int, bool]) -> int:
+            return 2 if (a[t_right] and not a[t_left]) else 3
+
+        def state2(a: Dict[int, bool]) -> int:
+            return 3 if (a[t_left] or a[t_right]) else 2
+
+        tracks = [t_left, t_right]
+        return self._dfa(4, [2], [
+            delta_from_function(self.mgr, tracks, state0),
+            delta_from_function(self.mgr, tracks, state1),
+            delta_from_function(self.mgr, tracks, state2),
+            self.mgr.leaf(3)])
+
+    def _aut_first(self, track: int) -> SymbolicDfa:
+        """Accepts iff the (singleton) track's bit sits at position 0."""
+        delta0 = delta_from_function(self.mgr, [track],
+                                     lambda a: 1 if a[track] else 2)
+        delta1 = delta_from_function(self.mgr, [track],
+                                     lambda a: 2 if a[track] else 1)
+        sink = self.mgr.leaf(2)
+        return self._dfa(3, [1], [delta0, delta1, sink])
+
+    def _aut_last(self, track: int) -> SymbolicDfa:
+        """Accepts iff the track's single bit sits at the final position."""
+        delta0 = delta_from_function(self.mgr, [track],
+                                     lambda a: 1 if a[track] else 0)
+        sink = self.mgr.leaf(2)
+        return self._dfa(3, [1], [delta0, sink, sink])
+
+    # ------------------------------------------------------------------
+    # Sanity checks
+    # ------------------------------------------------------------------
+
+    def _check_no_rebinding(self, formula: ast.Formula) -> None:
+        """Reject formulas where one Var is bound by two different
+        quantifier nodes — each binder must own its track.  Linear in
+        the number of distinct nodes (formulas are DAGs)."""
+        binder_of: Dict[ast.Var, ast.Formula] = {}
+        for node in formula.iter_nodes():
+            if isinstance(node, ast._Quant):
+                previous = binder_of.get(node.var)
+                if previous is not None and previous is not node:
+                    raise TranslationError(
+                        f"variable {node.var!r} is bound by two "
+                        f"quantifiers; use fresh Var objects per binder")
+                binder_of[node.var] = node

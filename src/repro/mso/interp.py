@@ -1,0 +1,114 @@
+"""Brute-force finite-model evaluation of M2L formulas.
+
+This module implements the *definition* of M2L-Str satisfaction
+directly: given a string length ``n`` and an assignment of the free
+variables (positions for first-order, frozensets of positions for
+second-order), evaluate the formula by structural recursion, with
+quantifiers enumerating all positions / all ``2^n`` subsets.
+
+It is exponential and only suitable for tiny models — which is exactly
+what makes it a trustworthy oracle for the automaton compiler in the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Union
+
+from repro.mso import ast
+
+Value = Union[int, FrozenSet[int]]
+
+
+def evaluate(formula: ast.Formula, n: int, env: Dict[ast.Var, Value]) -> bool:
+    """Satisfaction of ``formula`` on a string of length ``n``.
+
+    Args:
+        formula: the formula to evaluate.
+        n: the model size (number of string positions).
+        env: values for at least the free variables.
+
+    Raises:
+        KeyError: if a free variable has no value in ``env``.
+    """
+    if formula is ast.TRUE:
+        return True
+    if formula is ast.FALSE:
+        return False
+    if isinstance(formula, ast.Mem):
+        return env[formula.pos] in env[formula.pset]  # type: ignore[operator]
+    if isinstance(formula, ast.Sub):
+        return env[formula.left] <= env[formula.right]  # type: ignore[operator]
+    if isinstance(formula, ast.EqS) or isinstance(formula, ast.EqF):
+        return env[formula.left] == env[formula.right]
+    if isinstance(formula, ast.EmptyS):
+        return not env[formula.pset]
+    if isinstance(formula, ast.SingletonS):
+        return len(env[formula.pset]) == 1  # type: ignore[arg-type]
+    if isinstance(formula, ast.LessF):
+        return env[formula.left] < env[formula.right]  # type: ignore[operator]
+    if isinstance(formula, ast.SuccF):
+        return env[formula.right] == env[formula.left] + 1  # type: ignore[operator]
+    if isinstance(formula, ast.FirstF):
+        return env[formula.pos] == 0
+    if isinstance(formula, ast.LastF):
+        return env[formula.pos] == n - 1
+    if isinstance(formula, ast.Not):
+        return not evaluate(formula.inner, n, env)
+    if isinstance(formula, ast.And):
+        return evaluate(formula.left, n, env) and \
+            evaluate(formula.right, n, env)
+    if isinstance(formula, ast.Or):
+        return evaluate(formula.left, n, env) or \
+            evaluate(formula.right, n, env)
+    if isinstance(formula, ast.Implies):
+        return (not evaluate(formula.left, n, env)) or \
+            evaluate(formula.right, n, env)
+    if isinstance(formula, ast.Iff):
+        return evaluate(formula.left, n, env) == \
+            evaluate(formula.right, n, env)
+    if isinstance(formula, ast.Ex1):
+        return any(evaluate(formula.body, n, {**env, formula.var: pos})
+                   for pos in range(n))
+    if isinstance(formula, ast.All1):
+        return all(evaluate(formula.body, n, {**env, formula.var: pos})
+                   for pos in range(n))
+    if isinstance(formula, ast.Ex2):
+        return any(
+            evaluate(formula.body, n, {**env, formula.var: subset})
+            for subset in _subsets(n))
+    if isinstance(formula, ast.All2):
+        return all(
+            evaluate(formula.body, n, {**env, formula.var: subset})
+            for subset in _subsets(n))
+    raise TypeError(f"unknown formula node {formula!r}")
+
+
+def _subsets(n: int):
+    positions = range(n)
+    for size in range(n + 1):
+        for combo in itertools.combinations(positions, size):
+            yield frozenset(combo)
+
+
+def word_for(n: int, env: Dict[ast.Var, Value],
+             tracks: Dict[ast.Var, int]) -> list:
+    """Encode a model+assignment as a word of track assignments.
+
+    First-order values become singleton bits; the resulting word can be
+    fed to :meth:`SymbolicDfa.accepts` for differential testing.
+    """
+    word = []
+    for pos in range(n):
+        symbol: Dict[int, bool] = {}
+        for var, track in tracks.items():
+            value = env.get(var)
+            if value is None:
+                symbol[track] = False
+            elif var.kind is ast.VarKind.FIRST:
+                symbol[track] = (value == pos)
+            else:
+                symbol[track] = pos in value  # type: ignore[operator]
+        word.append(symbol)
+    return word

@@ -1,0 +1,269 @@
+"""A Mona-like concrete syntax for M2L-Str formulas.
+
+The paper's pipeline generates Fido/Mona source; this module provides
+the analogous human-writable syntax for our M2L layer, so the logic
+engine is usable standalone::
+
+    ex1 p: p in X & ~(p = 0)
+    all2 S: (p in S & (all1 a, b: a in S & b = a + 1 => b in S))
+            => q in S
+
+Grammar (loosest first): ``<=>``, ``=>`` (right associative), ``|``,
+``&``, ``~``; quantifiers ``ex1/all1/ex2/all2 v1, v2: body`` extend
+maximally to the right.  Atoms::
+
+    t in X        membership           X sub Y      set inclusion
+    X = Y         set equality         empty(X)     emptiness
+    singleton(X)  one element          t1 = t2      position equality
+    t1 < t2       order                t1 <= t2     reflexive order
+    t2 = t1 + 1   successor            t = 0        first position
+    t = $         last position        true, false
+
+First-order variables are lower-case identifiers, second-order ones
+upper-case (Mona's convention).  Variables are scoped: a quantifier
+introduces a fresh :class:`Var`, and free names are created on first
+use (retrievable from :meth:`M2LParser.free_names`).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.mso import ast
+from repro.mso.build import FormulaBuilder as F
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=>|=>|<=|[()=:,<&|~+$]|0|1)
+""", re.VERBOSE)
+
+_KEYWORDS = frozenset(["ex1", "all1", "ex2", "all2", "in", "sub",
+                       "empty", "singleton", "true", "false"])
+
+
+def parse_m2l(text: str,
+              free: Optional[Dict[str, ast.Var]] = None
+              ) -> Tuple[ast.Formula, Dict[str, ast.Var]]:
+    """Parse a formula; returns it with the map of free variables.
+
+    ``free`` pre-seeds the free-variable environment (pass the same
+    map to several calls to share variables across formulas).
+    """
+    parser = _M2LParser(text, dict(free or {}))
+    formula = parser.formula()
+    parser.expect_end()
+    return formula, parser.free
+
+
+class _M2LParser:
+    def __init__(self, text: str, free: Dict[str, ast.Var]) -> None:
+        self.text = text
+        self.free = free
+        self.tokens: List[str] = []
+        index = 0
+        while index < len(text):
+            match = _TOKEN_RE.match(text, index)
+            if match is None:
+                raise ParseError(
+                    f"bad character {text[index]!r} in M2L formula",
+                    1, index + 1)
+            if match.lastgroup != "ws":
+                self.tokens.append(match.group())
+            index = match.end()
+        self.position = 0
+        self.scopes: List[Dict[str, ast.Var]] = []
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else ""
+
+    def next(self) -> str:
+        token = self.peek()
+        if token:
+            self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise ParseError(
+                f"expected {token!r}, found {found!r} in "
+                f"{self.text!r}")
+
+    def expect_end(self) -> None:
+        if self.position != len(self.tokens):
+            raise ParseError(
+                f"trailing tokens {self.tokens[self.position:]} in "
+                f"{self.text!r}")
+
+    # -- variables ------------------------------------------------------
+
+    def lookup(self, name: str, kind: ast.VarKind) -> ast.Var:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                var = scope[name]
+                self._check_kind(name, var, kind)
+                return var
+        if name in self.free:
+            var = self.free[name]
+            self._check_kind(name, var, kind)
+            return var
+        var = ast.Var(name, kind)
+        self.free[name] = var
+        return var
+
+    @staticmethod
+    def _check_kind(name: str, var: ast.Var, kind: ast.VarKind) -> None:
+        if var.kind is not kind:
+            raise ParseError(
+                f"variable {name} used both first- and second-order")
+
+    @staticmethod
+    def _kind_of(name: str) -> ast.VarKind:
+        return ast.VarKind.SECOND if name[0].isupper() \
+            else ast.VarKind.FIRST
+
+    # -- grammar ----------------------------------------------------------
+
+    def formula(self) -> ast.Formula:
+        left = self._implies()
+        while self.peek() == "<=>":
+            self.next()
+            left = F.iff(left, self._implies())
+        return left
+
+    def _implies(self) -> ast.Formula:
+        left = self._or()
+        if self.peek() == "=>":
+            self.next()
+            return F.implies(left, self._implies())
+        return left
+
+    def _or(self) -> ast.Formula:
+        left = self._and()
+        while self.peek() == "|":
+            self.next()
+            left = F.or_(left, self._and())
+        return left
+
+    def _and(self) -> ast.Formula:
+        left = self._unary()
+        while self.peek() == "&":
+            self.next()
+            left = F.and_(left, self._unary())
+        return left
+
+    def _unary(self) -> ast.Formula:
+        token = self.peek()
+        if token == "~":
+            self.next()
+            return F.not_(self._unary())
+        if token in ("ex1", "all1", "ex2", "all2"):
+            return self._quantifier(token)
+        return self._primary()
+
+    def _quantifier(self, word: str) -> ast.Formula:
+        self.next()
+        kind = ast.VarKind.FIRST if word.endswith("1") \
+            else ast.VarKind.SECOND
+        names = [self._binder_name(kind)]
+        while self.peek() == ",":
+            self.next()
+            names.append(self._binder_name(kind))
+        self.expect(":")
+        scope = {}
+        variables = []
+        for name in names:
+            var = ast.Var.fresh(name, kind)
+            scope[name] = var
+            variables.append(var)
+        self.scopes.append(scope)
+        body = self.formula()
+        self.scopes.pop()
+        builder = {"ex1": F.ex1, "all1": F.all1,
+                   "ex2": F.ex2, "all2": F.all2}[word]
+        return builder(variables, body)
+
+    def _binder_name(self, kind: ast.VarKind) -> str:
+        name = self.next()
+        if not name or not (name[0].isalpha() or name[0] == "_") \
+                or name in _KEYWORDS:
+            raise ParseError(f"expected a variable name, found {name!r}")
+        if self._kind_of(name) is not kind:
+            case = "upper" if kind is ast.VarKind.SECOND else "lower"
+            raise ParseError(
+                f"{name}: {case}-case names are required here "
+                f"(Mona convention: sets upper-case, positions "
+                f"lower-case)")
+        return name
+
+    def _primary(self) -> ast.Formula:
+        token = self.peek()
+        if token == "(":
+            self.next()
+            inner = self.formula()
+            self.expect(")")
+            return inner
+        if token == "true":
+            self.next()
+            return ast.TRUE
+        if token == "false":
+            self.next()
+            return ast.FALSE
+        if token in ("empty", "singleton"):
+            self.next()
+            self.expect("(")
+            var = self.lookup(self._binder_name(ast.VarKind.SECOND),
+                              ast.VarKind.SECOND)
+            self.expect(")")
+            return F.empty(var) if token == "empty" else F.singleton(var)
+        return self._relation()
+
+    def _relation(self) -> ast.Formula:
+        name = self.next()
+        if not name or not (name[0].isalpha() or name[0] == "_"):
+            raise ParseError(f"expected a term, found {name!r}")
+        kind = self._kind_of(name)
+        operator = self.next()
+        if operator == "in":
+            pos = self.lookup(name, ast.VarKind.FIRST)
+            pset = self.lookup(self.next(), ast.VarKind.SECOND)
+            return F.mem(pos, pset)
+        if operator == "sub":
+            left = self.lookup(name, ast.VarKind.SECOND)
+            right = self.lookup(self.next(), ast.VarKind.SECOND)
+            return F.sub(left, right)
+        if operator == "<" or operator == "<=":
+            left = self.lookup(name, ast.VarKind.FIRST)
+            right = self.lookup(self.next(), ast.VarKind.FIRST)
+            return F.less(left, right) if operator == "<" \
+                else F.leq(left, right)
+        if operator == "=":
+            return self._equality(name, kind)
+        raise ParseError(
+            f"expected a relation after {name}, found {operator!r}")
+
+    def _equality(self, name: str, kind: ast.VarKind) -> ast.Formula:
+        token = self.next()
+        if token == "0":
+            return F.first(self.lookup(name, ast.VarKind.FIRST))
+        if token == "$":
+            return F.last(self.lookup(name, ast.VarKind.FIRST))
+        if not token or not (token[0].isalpha() or token[0] == "_"):
+            raise ParseError(f"expected a term, found {token!r}")
+        if self.peek() == "+":
+            self.next()
+            self.expect("1")
+            left = self.lookup(token, ast.VarKind.FIRST)
+            right = self.lookup(name, ast.VarKind.FIRST)
+            return F.succ(left, right)  # name = token + 1
+        if kind is ast.VarKind.SECOND:
+            return F.eq_set(self.lookup(name, kind),
+                            self.lookup(token, ast.VarKind.SECOND))
+        return F.eq_pos(self.lookup(name, kind),
+                        self.lookup(token, ast.VarKind.FIRST))

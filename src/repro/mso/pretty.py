@@ -1,0 +1,82 @@
+"""Pretty-printing of M2L formulas.
+
+Produces a Mona-like concrete syntax.  Used for debugging, error
+messages, and the formula dumps the benchmark harness can emit.
+"""
+
+from __future__ import annotations
+
+from repro.mso import ast
+
+#: Precedence levels, loosest binding first.
+_PREC_QUANT = 0
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_ATOM = 6
+
+
+def pretty(formula: ast.Formula) -> str:
+    """Render a formula as a Mona-like string."""
+    return _render(formula, 0)
+
+
+def _parens(text: str, prec: int, context: int) -> str:
+    return f"({text})" if prec < context else text
+
+
+def _render(formula: ast.Formula, context: int) -> str:
+    if formula is ast.TRUE:
+        return "true"
+    if formula is ast.FALSE:
+        return "false"
+    if isinstance(formula, ast.Mem):
+        return f"{formula.pos!r} in {formula.pset!r}"
+    if isinstance(formula, ast.Sub):
+        return f"{formula.left!r} sub {formula.right!r}"
+    if isinstance(formula, ast.EqS):
+        return f"{formula.left!r} = {formula.right!r}"
+    if isinstance(formula, ast.EmptyS):
+        return f"empty({formula.pset!r})"
+    if isinstance(formula, ast.SingletonS):
+        return f"singleton({formula.pset!r})"
+    if isinstance(formula, ast.EqF):
+        return f"{formula.left!r} = {formula.right!r}"
+    if isinstance(formula, ast.LessF):
+        return f"{formula.left!r} < {formula.right!r}"
+    if isinstance(formula, ast.SuccF):
+        return f"{formula.right!r} = {formula.left!r} + 1"
+    if isinstance(formula, ast.FirstF):
+        return f"{formula.pos!r} = 0"
+    if isinstance(formula, ast.LastF):
+        return f"{formula.pos!r} = $"
+    if isinstance(formula, ast.Not):
+        inner = _render(formula.inner, _PREC_NOT)
+        return _parens(f"~{inner}", _PREC_NOT, context)
+    if isinstance(formula, ast.And):
+        text = (f"{_render(formula.left, _PREC_AND)}"
+                f" & {_render(formula.right, _PREC_AND)}")
+        return _parens(text, _PREC_AND, context + 1)
+    if isinstance(formula, ast.Or):
+        text = (f"{_render(formula.left, _PREC_OR)}"
+                f" | {_render(formula.right, _PREC_OR)}")
+        return _parens(text, _PREC_OR, context + 1)
+    if isinstance(formula, ast.Implies):
+        text = (f"{_render(formula.left, _PREC_IMPLIES + 1)}"
+                f" => {_render(formula.right, _PREC_IMPLIES)}")
+        return _parens(text, _PREC_IMPLIES, context + 1)
+    if isinstance(formula, ast.Iff):
+        text = (f"{_render(formula.left, _PREC_IFF + 1)}"
+                f" <=> {_render(formula.right, _PREC_IFF + 1)}")
+        return _parens(text, _PREC_IFF, context + 1)
+    if isinstance(formula, (ast.Ex1, ast.Ex2)):
+        word = "ex1" if isinstance(formula, ast.Ex1) else "ex2"
+        text = f"{word} {formula.var!r}: {_render(formula.body, _PREC_QUANT)}"
+        return _parens(text, _PREC_QUANT, context)
+    if isinstance(formula, (ast.All1, ast.All2)):
+        word = "all1" if isinstance(formula, ast.All1) else "all2"
+        text = f"{word} {formula.var!r}: {_render(formula.body, _PREC_QUANT)}"
+        return _parens(text, _PREC_QUANT, context)
+    raise TypeError(f"unknown formula node {formula!r}")

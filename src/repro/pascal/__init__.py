@@ -1,0 +1,21 @@
+"""Front end for the paper's Pascal subset (§2).
+
+The language: enumeration types, record types with variant parts,
+pointer types, and a while-fragment of statements (assignment, blocks,
+conditionals, loops, ``new``/``dispose``).  Programs carry three kinds
+of ``{...}`` annotations: variable classifications (``{data}`` /
+``{pointer}``), assertions (precondition, postcondition, and cut-point
+assertions inside statement lists), and loop invariants (immediately
+after ``do``).  ``(* ... *)`` is a plain comment.
+
+Use :func:`parse_program` then :func:`check_program`; the latter
+returns the typed program together with its :class:`Schema`.
+"""
+
+from repro.pascal.lexer import Token, TokenKind, tokenize
+from repro.pascal.parser import parse_program
+from repro.pascal.types import check_program
+from repro.pascal import ast
+
+__all__ = ["Token", "TokenKind", "ast", "check_program", "parse_program",
+           "tokenize"]

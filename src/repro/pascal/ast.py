@@ -1,0 +1,281 @@
+"""Abstract syntax of the Pascal subset.
+
+Assertions (preconditions, postconditions, cut-point assertions and
+loop invariants) are stored as :class:`Annotation` values holding the
+raw store-logic text; the verification engine parses them with
+:mod:`repro.storelogic.parser` once the program's schema is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """A ``{...}`` assertion with its source location."""
+
+    text: str
+    line: int
+    column: int
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EnumDecl:
+    """``Color = (red, blue)``."""
+
+    name: str
+    constants: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PointerDecl:
+    """``List = ^Item``."""
+
+    name: str
+    target: str
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """``next: List`` inside a variant arm."""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class VariantArm:
+    """``red, blue: (next: List)`` — several tags sharing fields."""
+
+    tags: Tuple[str, ...]
+    fields: Tuple[FieldDecl, ...]
+
+
+@dataclass(frozen=True)
+class RecordDecl:
+    """``Item = record case tag: Color of ... end``."""
+
+    name: str
+    tag_field: str
+    tag_type: str
+    arms: Tuple[VariantArm, ...]
+
+
+@dataclass(frozen=True)
+class ProcDecl:
+    """``procedure name; begin ... end;`` — parameterless, operating
+    on the globals (the paper: "values are communicated through the
+    global variables").  Calls are inlined by the type checker, so
+    procedures must not be (mutually) recursive."""
+
+    name: str
+    body: Tuple[object, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProcCall:
+    """A call statement: the bare procedure name."""
+
+    name: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """One ``var`` section with its classification annotation.
+
+    ``classification`` is "data" or "pointer" (taken from the ``{data}``
+    / ``{pointer}`` annotation), or None when unannotated.
+    """
+
+    names: Tuple[str, ...]
+    type_name: str
+    classification: Optional[str]
+    line: int = 0
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Path:
+    """A variable with pointer traversals: ``x``, ``p^.next``,
+    ``p^.next^.next``, or a tag access ``x^.tag``."""
+
+    var: str
+    fields: Tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return self.var + "".join(f"^.{name}" for name in self.fields)
+
+
+@dataclass(frozen=True)
+class NilExpr:
+    """The ``nil`` constant."""
+
+    def __str__(self) -> str:
+        return "nil"
+
+
+#: A pointer-valued expression is a Path or NilExpr.
+PtrExpr = object
+
+
+@dataclass(frozen=True)
+class Compare:
+    """``left = right`` or ``left <> right``.
+
+    Covers both pointer comparison and the variant test (``x^.tag =
+    red``); the type checker tells them apart.
+    """
+
+    left: PtrExpr
+    right: PtrExpr
+    negated: bool
+
+    def __str__(self) -> str:
+        op = "<>" if self.negated else "="
+        return f"{self.left} {op} {self.right}"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """Short-circuit ``and`` / ``or``."""
+
+    op: str  # "and" | "or"
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class BoolNot:
+    """``not`` of a boolean expression."""
+
+    inner: object
+
+    def __str__(self) -> str:
+        return f"not {self.inner}"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Assign:
+    """``lhs := rhs``."""
+
+    lhs: Path
+    rhs: PtrExpr
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.rhs}"
+
+
+@dataclass(frozen=True)
+class New:
+    """``new(lhs, variant)`` — allocate a record of the given variant."""
+
+    lhs: Path
+    variant: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"new({self.lhs}, {self.variant})"
+
+
+@dataclass(frozen=True)
+class Dispose:
+    """``dispose(lhs, variant)`` — deallocate; the variant must match."""
+
+    lhs: Path
+    variant: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"dispose({self.lhs}, {self.variant})"
+
+
+@dataclass(frozen=True)
+class If:
+    """Conditional with optional else branch."""
+
+    cond: object
+    then_body: Tuple[object, ...]
+    else_body: Tuple[object, ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        text = f"if {self.cond} then ..."
+        return text + (" else ..." if self.else_body else "")
+
+
+@dataclass(frozen=True)
+class While:
+    """Loop with an optional invariant annotation after ``do``.
+
+    A missing invariant defaults to the well-formedness predicate,
+    exactly as the paper's system does (§5).
+    """
+
+    cond: object
+    invariant: Optional[Annotation]
+    body: Tuple[object, ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"while {self.cond} do ..."
+
+
+@dataclass(frozen=True)
+class AssertStmt:
+    """A cut-point assertion appearing between statements."""
+
+    annotation: Annotation
+    line: int = 0
+
+    def __str__(self) -> str:
+        return "{" + self.annotation.text + "}"
+
+
+#: A statement is Assign | New | Dispose | If | While | AssertStmt.
+Statement = object
+
+
+# ----------------------------------------------------------------------
+# Program
+# ----------------------------------------------------------------------
+
+@dataclass
+class Program:
+    """A parsed program.
+
+    ``pre`` and ``post`` are the leading/trailing assertions of the
+    main block (None means "well-formedness only").  ``body`` is the
+    flattened statement list of the main block.
+    """
+
+    name: str
+    enums: List[EnumDecl] = field(default_factory=list)
+    pointers: List[PointerDecl] = field(default_factory=list)
+    records: List[RecordDecl] = field(default_factory=list)
+    var_decls: List[VarDecl] = field(default_factory=list)
+    procedures: List[ProcDecl] = field(default_factory=list)
+    pre: Optional[Annotation] = None
+    post: Optional[Annotation] = None
+    body: List[Statement] = field(default_factory=list)

@@ -1,0 +1,144 @@
+"""Tokeniser for the Pascal subset.
+
+Pascal-style and case-insensitive for keywords (identifiers keep their
+spelling).  ``(* ... *)`` comments are skipped; ``{ ... }`` braces are
+*annotations* (assertions, invariants, ``{data}``/``{pointer}``
+classifications) and become :attr:`TokenKind.ANNOTATION` tokens whose
+value is the raw text between the braces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset([
+    "and", "begin", "case", "dispose", "do", "else", "end", "if", "new",
+    "nil", "not", "of", "or", "procedure", "program", "record", "then",
+    "type", "var", "while",
+])
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    ANNOTATION = "annotation"
+    ASSIGN = ":="
+    COLON = ":"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    CARET = "^"
+    LPAREN = "("
+    RPAREN = ")"
+    EQ = "="
+    NEQ = "<>"
+    EOF = "end of input"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its source location (1-based)."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        """True iff this token is the given keyword."""
+        return self.kind is TokenKind.KEYWORD and self.value == word
+
+    def __str__(self) -> str:
+        if self.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+            return self.value
+        if self.kind is TokenKind.ANNOTATION:
+            return "{" + self.value + "}"
+        return self.kind.value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise a whole source text; raises ParseError on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and text[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if text.startswith("(*", index):
+            start_line, start_col = line, column
+            end = text.find("*)", index + 2)
+            if end < 0:
+                raise ParseError("unterminated comment", start_line,
+                                 start_col)
+            advance(end + 2 - index)
+            continue
+        if char == "{":
+            start_line, start_col = line, column
+            end = text.find("}", index + 1)
+            if end < 0:
+                raise ParseError("unterminated annotation", start_line,
+                                 start_col)
+            body = text[index + 1:end]
+            advance(end + 1 - index)
+            yield Token(TokenKind.ANNOTATION, body.strip(), start_line,
+                        start_col)
+            continue
+        if char.isalpha() or char == "_":
+            start_line, start_col = line, column
+            start = index
+            while index < length and (text[index].isalnum()
+                                      or text[index] == "_"):
+                advance()
+            word = text[start:index]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                yield Token(TokenKind.KEYWORD, lowered, start_line,
+                            start_col)
+            else:
+                yield Token(TokenKind.IDENT, word, start_line, start_col)
+            continue
+        start_line, start_col = line, column
+        if text.startswith(":=", index):
+            advance(2)
+            yield Token(TokenKind.ASSIGN, ":=", start_line, start_col)
+            continue
+        if text.startswith("<>", index):
+            advance(2)
+            yield Token(TokenKind.NEQ, "<>", start_line, start_col)
+            continue
+        simple = {
+            ":": TokenKind.COLON, ";": TokenKind.SEMI,
+            ",": TokenKind.COMMA, ".": TokenKind.DOT,
+            "^": TokenKind.CARET, "(": TokenKind.LPAREN,
+            ")": TokenKind.RPAREN, "=": TokenKind.EQ,
+        }
+        kind = simple.get(char)
+        if kind is None:
+            raise ParseError(f"unexpected character {char!r}", line, column)
+        advance()
+        yield Token(kind, char, start_line, start_col)
+    yield Token(TokenKind.EOF, "", line, column)

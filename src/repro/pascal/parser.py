@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the Pascal subset.
+
+Produces :class:`repro.pascal.ast.Program`.  Assertion annotations are
+kept as raw text; ``{data}`` / ``{pointer}`` annotations classify the
+``var`` section they precede.  The first (last) assertion of the main
+block becomes the program's precondition (postcondition).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.pascal import ast
+from repro.pascal.lexer import Token, TokenKind, tokenize
+
+
+def parse_program(text: str) -> ast.Program:
+    """Parse a complete program source."""
+    return _Parser(tokenize(text)).program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self._peek()
+        return ParseError(f"{message} (found {token})", token.line,
+                          token.column)
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise self._error(f"expected {kind.value}")
+        return self._next()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected '{word}'")
+        return self._next()
+
+    def _at_keyword(self, word: str) -> bool:
+        return self._peek().is_keyword(word)
+
+    def _ident(self) -> str:
+        return self._expect(TokenKind.IDENT).value
+
+    # -- program --------------------------------------------------------
+
+    def program(self) -> ast.Program:
+        self._expect_keyword("program")
+        name = self._ident()
+        self._expect(TokenKind.SEMI)
+        program = ast.Program(name=name)
+        self._declarations(program)
+        body = self._block()
+        self._expect(TokenKind.DOT)
+        self._expect(TokenKind.EOF)
+        statements = list(body)
+        if statements and isinstance(statements[0], ast.AssertStmt):
+            program.pre = statements.pop(0).annotation
+        if statements and isinstance(statements[-1], ast.AssertStmt):
+            program.post = statements.pop().annotation
+        program.body = statements
+        return program
+
+    # -- declarations ---------------------------------------------------
+
+    def _declarations(self, program: ast.Program) -> None:
+        while True:
+            token = self._peek()
+            if token.is_keyword("type"):
+                self._next()
+                self._type_section(program)
+            elif token.is_keyword("var"):
+                self._next()
+                self._var_section(program, None)
+            elif token.kind is TokenKind.ANNOTATION and \
+                    self._peek(1).is_keyword("var"):
+                classification = token.value.lower()
+                if classification not in ("data", "pointer"):
+                    raise self._error(
+                        "var classification must be {data} or {pointer}")
+                self._next()
+                self._next()
+                self._var_section(program, classification)
+            elif token.is_keyword("procedure"):
+                self._next()
+                program.procedures.append(self._procedure(token.line))
+            else:
+                return
+
+    def _procedure(self, line: int) -> ast.ProcDecl:
+        name = self._ident()
+        self._expect(TokenKind.SEMI)
+        body = self._block()
+        self._expect(TokenKind.SEMI)
+        return ast.ProcDecl(name, body, line)
+
+    def _type_section(self, program: ast.Program) -> None:
+        while self._peek().kind is TokenKind.IDENT and \
+                self._peek(1).kind is TokenKind.EQ:
+            name = self._ident()
+            self._expect(TokenKind.EQ)
+            self._type_definition(program, name)
+            self._expect(TokenKind.SEMI)
+
+    def _type_definition(self, program: ast.Program, name: str) -> None:
+        token = self._peek()
+        if token.kind is TokenKind.LPAREN:
+            self._next()
+            constants = [self._ident()]
+            while self._peek().kind is TokenKind.COMMA:
+                self._next()
+                constants.append(self._ident())
+            self._expect(TokenKind.RPAREN)
+            program.enums.append(ast.EnumDecl(name, tuple(constants)))
+        elif token.kind is TokenKind.CARET:
+            self._next()
+            program.pointers.append(ast.PointerDecl(name, self._ident()))
+        elif token.is_keyword("record"):
+            self._next()
+            program.records.append(self._record_body(name))
+        else:
+            raise self._error("expected a type definition")
+
+    def _record_body(self, name: str) -> ast.RecordDecl:
+        self._expect_keyword("case")
+        tag_field = self._ident()
+        self._expect(TokenKind.COLON)
+        tag_type = self._ident()
+        self._expect_keyword("of")
+        arms = [self._variant_arm()]
+        while self._peek().kind is TokenKind.SEMI:
+            self._next()
+            if self._at_keyword("end"):
+                break
+            arms.append(self._variant_arm())
+        self._expect_keyword("end")
+        return ast.RecordDecl(name, tag_field, tag_type, tuple(arms))
+
+    def _variant_arm(self) -> ast.VariantArm:
+        tags = [self._ident()]
+        while self._peek().kind is TokenKind.COMMA:
+            self._next()
+            tags.append(self._ident())
+        self._expect(TokenKind.COLON)
+        self._expect(TokenKind.LPAREN)
+        fields: List[ast.FieldDecl] = []
+        if self._peek().kind is TokenKind.IDENT:
+            fields.append(self._field_decl())
+            while self._peek().kind is TokenKind.SEMI:
+                self._next()
+                fields.append(self._field_decl())
+        self._expect(TokenKind.RPAREN)
+        return ast.VariantArm(tuple(tags), tuple(fields))
+
+    def _field_decl(self) -> ast.FieldDecl:
+        name = self._ident()
+        self._expect(TokenKind.COLON)
+        return ast.FieldDecl(name, self._ident())
+
+    def _var_section(self, program: ast.Program,
+                     classification: Optional[str]) -> None:
+        while True:
+            token = self._peek()
+            names = [self._ident()]
+            while self._peek().kind is TokenKind.COMMA:
+                self._next()
+                names.append(self._ident())
+            self._expect(TokenKind.COLON)
+            type_name = self._ident()
+            self._expect(TokenKind.SEMI)
+            program.var_decls.append(
+                ast.VarDecl(tuple(names), type_name, classification,
+                            token.line))
+            if not (self._peek().kind is TokenKind.IDENT
+                    and self._peek(1).kind in (TokenKind.COMMA,
+                                               TokenKind.COLON)):
+                return
+
+    # -- statements -----------------------------------------------------
+
+    def _block(self) -> Tuple[object, ...]:
+        self._expect_keyword("begin")
+        statements = self._statement_list()
+        self._expect_keyword("end")
+        return statements
+
+    def _statement_list(self) -> Tuple[object, ...]:
+        statements: List[object] = []
+        while True:
+            while self._peek().kind is TokenKind.SEMI:
+                self._next()
+            token = self._peek()
+            if token.is_keyword("end") or token.kind is TokenKind.EOF:
+                return tuple(statements)
+            parsed = self._statement()
+            statements.extend(parsed)
+            token = self._peek()
+            if token.kind is TokenKind.SEMI:
+                continue
+            if token.kind is TokenKind.ANNOTATION:
+                continue  # assertions need no separating semicolon
+            if parsed and isinstance(statements[-1], ast.AssertStmt):
+                continue  # ... nor do statements following one
+            if token.is_keyword("end"):
+                return tuple(statements)
+            raise self._error("expected ';' or 'end'")
+
+    def _statement(self) -> Tuple[object, ...]:
+        """Parse one statement; blocks flatten into their contents."""
+        token = self._peek()
+        if token.kind is TokenKind.ANNOTATION:
+            self._next()
+            annotation = ast.Annotation(token.value, token.line,
+                                        token.column)
+            return (ast.AssertStmt(annotation, token.line),)
+        if token.is_keyword("begin"):
+            return self._block()
+        if token.is_keyword("if"):
+            return (self._if_statement(),)
+        if token.is_keyword("while"):
+            return (self._while_statement(),)
+        if token.is_keyword("new") or token.is_keyword("dispose"):
+            return (self._alloc_statement(),)
+        if token.kind is TokenKind.IDENT:
+            if self._peek(1).kind not in (TokenKind.ASSIGN,
+                                          TokenKind.CARET):
+                self._next()
+                return (ast.ProcCall(token.value, token.line),)
+            return (self._assignment(),)
+        raise self._error("expected a statement")
+
+    def _if_statement(self) -> ast.If:
+        token = self._expect_keyword("if")
+        cond = self._bool_expr()
+        self._expect_keyword("then")
+        then_body = self._statement()
+        else_body: Tuple[object, ...] = ()
+        if self._at_keyword("else"):
+            self._next()
+            else_body = self._statement()
+        return ast.If(cond, then_body, else_body, token.line)
+
+    def _while_statement(self) -> ast.While:
+        token = self._expect_keyword("while")
+        cond = self._bool_expr()
+        self._expect_keyword("do")
+        invariant: Optional[ast.Annotation] = None
+        peeked = self._peek()
+        if peeked.kind is TokenKind.ANNOTATION:
+            self._next()
+            invariant = ast.Annotation(peeked.value, peeked.line,
+                                       peeked.column)
+        body = self._statement()
+        return ast.While(cond, invariant, body, token.line)
+
+    def _alloc_statement(self) -> object:
+        token = self._next()  # new or dispose
+        self._expect(TokenKind.LPAREN)
+        lhs = self._path()
+        self._expect(TokenKind.COMMA)
+        variant = self._ident()
+        self._expect(TokenKind.RPAREN)
+        if token.value == "new":
+            return ast.New(lhs, variant, token.line)
+        return ast.Dispose(lhs, variant, token.line)
+
+    def _assignment(self) -> ast.Assign:
+        token = self._peek()
+        lhs = self._path()
+        self._expect(TokenKind.ASSIGN)
+        rhs = self._ptr_expr()
+        return ast.Assign(lhs, rhs, token.line)
+
+    # -- expressions ----------------------------------------------------
+
+    def _path(self) -> ast.Path:
+        var = self._ident()
+        fields: List[str] = []
+        while self._peek().kind is TokenKind.CARET:
+            self._next()
+            self._expect(TokenKind.DOT)
+            fields.append(self._ident())
+        return ast.Path(var, tuple(fields))
+
+    def _ptr_expr(self) -> object:
+        if self._at_keyword("nil"):
+            self._next()
+            return ast.NilExpr()
+        return self._path()
+
+    def _bool_expr(self) -> object:
+        left = self._bool_term()
+        while self._at_keyword("or"):
+            self._next()
+            left = ast.BoolOp("or", left, self._bool_term())
+        return left
+
+    def _bool_term(self) -> object:
+        left = self._bool_factor()
+        while self._at_keyword("and"):
+            self._next()
+            left = ast.BoolOp("and", left, self._bool_factor())
+        return left
+
+    def _bool_factor(self) -> object:
+        token = self._peek()
+        if token.is_keyword("not"):
+            self._next()
+            return ast.BoolNot(self._bool_factor())
+        if token.kind is TokenKind.LPAREN:
+            self._next()
+            inner = self._bool_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        return self._relation()
+
+    def _relation(self) -> ast.Compare:
+        left = self._ptr_expr()
+        token = self._peek()
+        if token.kind is TokenKind.EQ:
+            self._next()
+            return ast.Compare(left, self._ptr_expr(), negated=False)
+        if token.kind is TokenKind.NEQ:
+            self._next()
+            return ast.Compare(left, self._ptr_expr(), negated=True)
+        raise self._error("expected '=' or '<>'")

@@ -1,0 +1,108 @@
+"""Pretty-printing of parsed programs back to concrete syntax.
+
+``pretty_program(parse_program(text))`` is a fixpoint: re-parsing the
+output yields a structurally identical AST (the property tests rely on
+this).  The typed IR prints through its ``__str__`` methods; this
+module handles the full program shape including declarations and
+annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pascal import ast
+
+INDENT = "  "
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a parsed program as source text."""
+    lines: List[str] = [f"program {program.name};"]
+    if program.enums or program.pointers or program.records:
+        lines.append("type")
+        for enum in program.enums:
+            lines.append(f"{INDENT}{enum.name} = "
+                         f"({', '.join(enum.constants)});")
+        for pointer in program.pointers:
+            lines.append(f"{INDENT}{pointer.name} = ^{pointer.target};")
+        for record in program.records:
+            lines.extend(_record_lines(record))
+    for decl in program.var_decls:
+        prefix = f"{{{decl.classification}}} " if decl.classification \
+            else ""
+        lines.append(f"{prefix}var {', '.join(decl.names)}: "
+                     f"{decl.type_name};")
+    for procedure in program.procedures:
+        lines.append(f"procedure {procedure.name};")
+        lines.append("begin")
+        lines.extend(_statements(procedure.body, 1))
+        lines.append("end;")
+    lines.append("begin")
+    if program.pre is not None:
+        lines.append(f"{INDENT}{{{program.pre.text}}}")
+    lines.extend(_statements(program.body, 1))
+    if program.post is not None:
+        lines.append(f"{INDENT}{{{program.post.text}}}")
+    lines.append("end.")
+    return "\n".join(lines) + "\n"
+
+
+def _record_lines(record: ast.RecordDecl) -> List[str]:
+    lines = [f"{INDENT}{record.name} = record case "
+             f"{record.tag_field}: {record.tag_type} of"]
+    arms = []
+    for arm in record.arms:
+        fields = "; ".join(f"{field.name}: {field.type_name}"
+                           for field in arm.fields)
+        arms.append(f"{INDENT * 2}{', '.join(arm.tags)}: ({fields})")
+    lines.append(";\n".join(arms))
+    lines.append(f"{INDENT}end;")
+    return lines
+
+
+def _statements(statements, depth: int) -> List[str]:
+    lines: List[str] = []
+    pad = INDENT * depth
+    for index, statement in enumerate(statements):
+        last = index == len(statements) - 1
+        semi = "" if last else ";"
+        if isinstance(statement, ast.AssertStmt):
+            lines.append(f"{pad}{{{statement.annotation.text}}}")
+        elif isinstance(statement, ast.If):
+            lines.extend(_if_lines(statement, depth, semi))
+        elif isinstance(statement, ast.While):
+            lines.extend(_while_lines(statement, depth, semi))
+        else:
+            lines.append(f"{pad}{statement}{semi}")
+    return lines
+
+
+def _block(body, depth: int, suffix: str) -> List[str]:
+    pad = INDENT * depth
+    lines = [f"{pad}begin"]
+    lines.extend(_statements(body, depth + 1))
+    lines.append(f"{pad}end{suffix}")
+    return lines
+
+
+def _if_lines(statement: ast.If, depth: int, semi: str) -> List[str]:
+    pad = INDENT * depth
+    lines = [f"{pad}if {statement.cond} then"]
+    if statement.else_body:
+        lines.extend(_block(statement.then_body, depth + 1, ""))
+        lines.append(f"{pad}else")
+        lines.extend(_block(statement.else_body, depth + 1, semi))
+    else:
+        lines.extend(_block(statement.then_body, depth + 1, semi))
+    return lines
+
+
+def _while_lines(statement: ast.While, depth: int,
+                 semi: str) -> List[str]:
+    pad = INDENT * depth
+    lines = [f"{pad}while {statement.cond} do"]
+    if statement.invariant is not None:
+        lines.append(f"{pad}{INDENT}{{{statement.invariant.text}}}")
+    lines.extend(_block(statement.body, depth + 1, semi))
+    return lines

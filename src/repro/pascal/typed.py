@@ -1,0 +1,232 @@
+"""Typed intermediate representation of checked programs.
+
+The type checker (:mod:`repro.pascal.types`) lowers the parsed AST
+into these nodes: paths are resolved against the schema, comparisons
+are split into pointer comparisons and variant tests, and assignment
+targets are split into variable and field targets.  Both the concrete
+interpreter and the symbolic transduction engine run on this IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.pascal.ast import Annotation
+from repro.stores.schema import Schema
+
+
+@dataclass(frozen=True)
+class TPath:
+    """A resolved pointer path.
+
+    ``steps`` holds one (field name, record type of the field's target)
+    pair per traversal; ``var_type`` is the record type the variable
+    points to.
+    """
+
+    var: str
+    var_type: str
+    steps: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def final_type(self) -> str:
+        """The record type of the cell the path denotes."""
+        return self.steps[-1][1] if self.steps else self.var_type
+
+    def __str__(self) -> str:
+        return self.var + "".join(f"^.{name}" for name, _ in self.steps)
+
+
+# ----------------------------------------------------------------------
+# Guards
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TPtrCompare:
+    """Pointer (in)equality; None stands for ``nil``."""
+
+    left: Optional[TPath]
+    right: Optional[TPath]
+    negated: bool
+
+    def __str__(self) -> str:
+        op = "<>" if self.negated else "="
+        return f"{self.left or 'nil'} {op} {self.right or 'nil'}"
+
+
+@dataclass(frozen=True)
+class TVariantTest:
+    """``cell^.tag = variant`` (or ``<>``)."""
+
+    cell: TPath
+    type_name: str
+    variant: str
+    negated: bool
+
+    def __str__(self) -> str:
+        op = "<>" if self.negated else "="
+        return f"{self.cell}^.tag {op} {self.variant}"
+
+
+@dataclass(frozen=True)
+class TAnd:
+    """Short-circuit conjunction."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class TOr:
+    """Short-circuit disjunction."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class TNot:
+    """Negation."""
+
+    inner: object
+
+    def __str__(self) -> str:
+        return f"not {self.inner}"
+
+
+#: A typed guard expression.
+TGuard = Union[TPtrCompare, TVariantTest, TAnd, TOr, TNot]
+
+
+# ----------------------------------------------------------------------
+# Assignment targets
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VarLhs:
+    """Assignment to a program variable."""
+
+    name: str
+    type_name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FieldLhs:
+    """Assignment to a pointer field of the cell ``cell`` denotes."""
+
+    cell: TPath
+    field: str
+    target_type: str
+
+    def __str__(self) -> str:
+        return f"{self.cell}^.{self.field}"
+
+
+TLhs = Union[VarLhs, FieldLhs]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TAssign:
+    """``lhs := rhs`` (rhs None means ``nil``)."""
+
+    lhs: TLhs
+    rhs: Optional[TPath]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.lhs} := {self.rhs or 'nil'}"
+
+
+@dataclass(frozen=True)
+class TNew:
+    """``new(lhs, variant)`` for a record of ``type_name``."""
+
+    lhs: TLhs
+    type_name: str
+    variant: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"new({self.lhs}, {self.variant})"
+
+
+@dataclass(frozen=True)
+class TDispose:
+    """``dispose(path, variant)``."""
+
+    path: TPath
+    type_name: str
+    variant: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"dispose({self.path}, {self.variant})"
+
+
+@dataclass(frozen=True)
+class TIf:
+    """Typed conditional."""
+
+    cond: TGuard
+    then_body: Tuple[object, ...]
+    else_body: Tuple[object, ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"if {self.cond} then ..."
+
+
+@dataclass(frozen=True)
+class TWhile:
+    """Typed loop; invariant None means well-formedness only."""
+
+    cond: TGuard
+    invariant: Optional[Annotation]
+    body: Tuple[object, ...]
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"while {self.cond} do ..."
+
+
+@dataclass(frozen=True)
+class TAssertStmt:
+    """Typed cut-point assertion (still raw store-logic text)."""
+
+    annotation: Annotation
+    line: int = 0
+
+    def __str__(self) -> str:
+        return "{" + self.annotation.text + "}"
+
+
+TStatement = Union[TAssign, TNew, TDispose, TIf, TWhile, TAssertStmt]
+
+
+@dataclass
+class TypedProgram:
+    """A fully checked program, ready for interpretation/verification."""
+
+    name: str
+    schema: Schema
+    pre: Optional[Annotation]
+    post: Optional[Annotation]
+    body: List[TStatement] = field(default_factory=list)
+
+    def statements(self) -> List[TStatement]:
+        """The top-level statement list."""
+        return list(self.body)

@@ -1,0 +1,372 @@
+"""Type checker: parsed AST -> (:class:`TypedProgram`, :class:`Schema`).
+
+Enforces the paper's restrictions (§2):
+
+* only enumeration, record-with-variants, and pointer types;
+* every program variable has a pointer type and is classified
+  ``{data}`` or ``{pointer}``;
+* at most one pointer field per variant (linear linked lists), and all
+  record fields are pointer-typed — data content is carried by the
+  variant tag;
+* no pointer arithmetic (guaranteed syntactically).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TypeError_
+from repro.pascal import ast
+from repro.pascal.typed import (FieldLhs, TAnd, TAssertStmt, TAssign,
+                                TDispose, TGuard, TIf, TLhs, TNew, TNot,
+                                TOr, TPath, TPtrCompare, TStatement,
+                                TVariantTest, TWhile, TypedProgram, VarLhs)
+from repro.stores.schema import FieldInfo, RecordType, Schema
+
+
+def check_program(program: ast.Program) -> TypedProgram:
+    """Type-check a parsed program; raises TypeError_ on any problem."""
+    checker = _Checker(program)
+    return checker.run()
+
+
+class _Checker:
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.schema = Schema()
+        #: pointer type name -> record type name
+        self.pointer_types: Dict[str, str] = {}
+        #: enum constant -> enum type name
+        self.enum_constants: Dict[str, str] = {}
+        #: procedure name -> declaration
+        self.procedures: Dict[str, ast.ProcDecl] = {}
+        #: procedure name -> fully inlined typed body
+        self._inlined: Dict[str, Tuple[TStatement, ...]] = {}
+        self._inlining: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TypedProgram:
+        self._collect_enums()
+        self._collect_pointers()
+        self._collect_records()
+        self._collect_vars()
+        self._collect_procedures()
+        self.schema.validate()
+        body = list(self._statements(self.program.body))
+        return TypedProgram(name=self.program.name, schema=self.schema,
+                            pre=self.program.pre, post=self.program.post,
+                            body=body)
+
+    def _collect_procedures(self) -> None:
+        for decl in self.program.procedures:
+            if decl.name in self.procedures:
+                raise TypeError_(
+                    f"procedure {decl.name} declared twice")
+            if decl.name in self.schema.data_vars or \
+                    decl.name in self.schema.pointer_vars or \
+                    decl.name in self.enum_constants:
+                raise TypeError_(
+                    f"procedure {decl.name} collides with another name")
+            self.procedures[decl.name] = decl
+
+    def _inline(self, name: str, line: int) -> Tuple[TStatement, ...]:
+        cached = self._inlined.get(name)
+        if cached is not None:
+            return cached
+        decl = self.procedures.get(name)
+        if decl is None:
+            raise TypeError_(f"line {line}: unknown procedure {name}")
+        if name in self._inlining:
+            cycle = " -> ".join(self._inlining + [name])
+            raise TypeError_(
+                f"recursive procedures are not supported: {cycle}")
+        self._inlining.append(name)
+        body = self._statements(decl.body)
+        self._inlining.pop()
+        self._inlined[name] = body
+        return body
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _collect_enums(self) -> None:
+        for decl in self.program.enums:
+            if decl.name in self.schema.enums:
+                raise TypeError_(f"duplicate type {decl.name}")
+            self.schema.enums[decl.name] = decl.constants
+            for constant in decl.constants:
+                if constant in self.enum_constants:
+                    raise TypeError_(
+                        f"enum constant {constant} declared twice")
+                self.enum_constants[constant] = decl.name
+
+    def _collect_pointers(self) -> None:
+        record_names = {decl.name for decl in self.program.records}
+        for decl in self.program.pointers:
+            if decl.target not in record_names:
+                raise TypeError_(
+                    f"pointer type {decl.name} targets unknown record "
+                    f"{decl.target}")
+            self.pointer_types[decl.name] = decl.target
+            self.schema.pointer_aliases[decl.name] = decl.target
+
+    def _collect_records(self) -> None:
+        for decl in self.program.records:
+            if decl.tag_type not in self.schema.enums:
+                raise TypeError_(
+                    f"record {decl.name}: tag type {decl.tag_type} is not "
+                    f"an enumeration")
+            variants: Dict[str, Optional[FieldInfo]] = {}
+            for arm in decl.arms:
+                info = self._arm_field(decl, arm)
+                for tag in arm.tags:
+                    if tag in variants:
+                        raise TypeError_(
+                            f"record {decl.name}: variant {tag} declared "
+                            f"twice")
+                    if tag not in self.schema.enums[decl.tag_type]:
+                        raise TypeError_(
+                            f"record {decl.name}: {tag} is not a constant "
+                            f"of {decl.tag_type}")
+                    variants[tag] = info
+            self.schema.records[decl.name] = RecordType(
+                decl.name, decl.tag_field, decl.tag_type, variants)
+
+    def _arm_field(self, decl: ast.RecordDecl,
+                   arm: ast.VariantArm) -> Optional[FieldInfo]:
+        if not arm.fields:
+            return None
+        if len(arm.fields) > 1:
+            raise TypeError_(
+                f"record {decl.name}: variant {arm.tags[0]} has "
+                f"{len(arm.fields)} pointer fields; linear lists allow "
+                f"at most one")
+        field = arm.fields[0]
+        target = self.pointer_types.get(field.type_name)
+        if target is None:
+            raise TypeError_(
+                f"record {decl.name}: field {field.name} must have a "
+                f"pointer type, got {field.type_name}")
+        if field.name == decl.tag_field:
+            raise TypeError_(
+                f"record {decl.name}: field {field.name} collides with "
+                f"the tag field")
+        return FieldInfo(field.name, target)
+
+    def _collect_vars(self) -> None:
+        for decl in self.program.var_decls:
+            if decl.classification is None:
+                raise TypeError_(
+                    f"line {decl.line}: var section must be annotated "
+                    f"{{data}} or {{pointer}}")
+            target = self.pointer_types.get(decl.type_name)
+            if target is None:
+                raise TypeError_(
+                    f"line {decl.line}: variables must have pointer "
+                    f"types, got {decl.type_name}")
+            table = self.schema.data_vars \
+                if decl.classification == "data" \
+                else self.schema.pointer_vars
+            for name in decl.names:
+                if name in self.schema.data_vars or \
+                        name in self.schema.pointer_vars:
+                    raise TypeError_(f"variable {name} declared twice")
+                if name in self.enum_constants:
+                    raise TypeError_(
+                        f"variable {name} collides with an enum constant")
+                table[name] = target
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _pointer_path(self, path: ast.Path) -> TPath:
+        """Resolve a path whose every step is a pointer field."""
+        var_type = self._var_record(path.var)
+        steps: List[Tuple[str, str]] = []
+        current = var_type
+        for name in path.fields:
+            current = self._field_target(current, name, path)
+            steps.append((name, current))
+        return TPath(path.var, var_type, tuple(steps))
+
+    def _var_record(self, name: str) -> str:
+        if name in self.schema.data_vars:
+            return self.schema.data_vars[name]
+        if name in self.schema.pointer_vars:
+            return self.schema.pointer_vars[name]
+        raise TypeError_(f"unknown variable {name}")
+
+    def _field_target(self, record_name: str, field_name: str,
+                      path: ast.Path) -> str:
+        record = self.schema.records[record_name]
+        if field_name == record.tag_field:
+            raise TypeError_(
+                f"{path}: the tag field {field_name} is not a pointer "
+                f"field")
+        targets = {info.target for info in record.variants.values()
+                   if info is not None and info.name == field_name}
+        if not targets:
+            raise TypeError_(
+                f"{path}: record {record_name} has no pointer field "
+                f"{field_name}")
+        if len(targets) > 1:
+            raise TypeError_(
+                f"{path}: field {field_name} of {record_name} has "
+                f"conflicting target types across variants")
+        return next(iter(targets))
+
+    def _is_tag_path(self, path: ast.Path) -> bool:
+        """True when the path's last field is a record's tag field."""
+        if not path.fields or path.var not in {**self.schema.data_vars,
+                                               **self.schema.pointer_vars}:
+            return False
+        try:
+            cell = self._pointer_path(
+                ast.Path(path.var, path.fields[:-1]))
+        except TypeError_:
+            return False
+        record = self.schema.records[cell.final_type]
+        return path.fields[-1] == record.tag_field
+
+    # ------------------------------------------------------------------
+    # Guards
+    # ------------------------------------------------------------------
+
+    def _guard(self, expr: object) -> TGuard:
+        if isinstance(expr, ast.BoolOp):
+            left = self._guard(expr.left)
+            right = self._guard(expr.right)
+            return TAnd(left, right) if expr.op == "and" \
+                else TOr(left, right)
+        if isinstance(expr, ast.BoolNot):
+            return TNot(self._guard(expr.inner))
+        if isinstance(expr, ast.Compare):
+            return self._comparison(expr)
+        raise TypeError_(f"not a boolean expression: {expr}")
+
+    def _comparison(self, expr: ast.Compare) -> TGuard:
+        left_tag = isinstance(expr.left, ast.Path) and \
+            self._is_tag_path(expr.left)
+        right_tag = isinstance(expr.right, ast.Path) and \
+            self._is_tag_path(expr.right)
+        if left_tag or right_tag:
+            tag_side, other = (expr.left, expr.right) if left_tag \
+                else (expr.right, expr.left)
+            return self._variant_test(tag_side, other, expr.negated)
+        return self._ptr_compare(expr)
+
+    def _variant_test(self, tag_side: ast.Path, other: object,
+                      negated: bool) -> TVariantTest:
+        cell = self._pointer_path(ast.Path(tag_side.var,
+                                           tag_side.fields[:-1]))
+        record = self.schema.records[cell.final_type]
+        if not (isinstance(other, ast.Path) and not other.fields
+                and other.var in self.enum_constants):
+            raise TypeError_(
+                f"{tag_side} must be compared with a constant of "
+                f"{record.tag_type}")
+        constant = other.var
+        if self.enum_constants[constant] != record.tag_type:
+            raise TypeError_(
+                f"{tag_side}: {constant} is not a constant of "
+                f"{record.tag_type}")
+        return TVariantTest(cell, record.name, constant, negated)
+
+    def _ptr_compare(self, expr: ast.Compare) -> TPtrCompare:
+        left = self._operand(expr.left)
+        right = self._operand(expr.right)
+        if left is not None and right is not None and \
+                left.final_type != right.final_type:
+            raise TypeError_(
+                f"cannot compare {left} ({left.final_type}) with "
+                f"{right} ({right.final_type})")
+        return TPtrCompare(left, right, expr.negated)
+
+    def _operand(self, expr: object) -> Optional[TPath]:
+        if isinstance(expr, ast.NilExpr):
+            return None
+        if isinstance(expr, ast.Path):
+            if not expr.fields and expr.var in self.enum_constants:
+                raise TypeError_(
+                    f"enum constant {expr.var} used as a pointer")
+            return self._pointer_path(expr)
+        raise TypeError_(f"not a pointer expression: {expr}")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _statements(self, statements) -> Tuple[TStatement, ...]:
+        """Type a statement list; procedure calls splice their inlined
+        bodies in place."""
+        result: List[TStatement] = []
+        for statement in statements:
+            if isinstance(statement, ast.ProcCall):
+                result.extend(self._inline(statement.name,
+                                           statement.line))
+            else:
+                result.append(self._statement(statement))
+        return tuple(result)
+
+    def _statement(self, statement: object) -> TStatement:
+        if isinstance(statement, ast.Assign):
+            return self._assign(statement)
+        if isinstance(statement, ast.New):
+            return self._new(statement)
+        if isinstance(statement, ast.Dispose):
+            return self._dispose(statement)
+        if isinstance(statement, ast.If):
+            return TIf(self._guard(statement.cond),
+                       self._statements(statement.then_body),
+                       self._statements(statement.else_body),
+                       statement.line)
+        if isinstance(statement, ast.While):
+            return TWhile(self._guard(statement.cond), statement.invariant,
+                          self._statements(statement.body),
+                          statement.line)
+        if isinstance(statement, ast.AssertStmt):
+            return TAssertStmt(statement.annotation, statement.line)
+        raise TypeError_(f"unknown statement {statement!r}")
+
+    def _lhs(self, path: ast.Path) -> TLhs:
+        if not path.fields:
+            return VarLhs(path.var, self._var_record(path.var))
+        cell = self._pointer_path(ast.Path(path.var, path.fields[:-1]))
+        field_name = path.fields[-1]
+        target = self._field_target(cell.final_type, field_name, path)
+        return FieldLhs(cell, field_name, target)
+
+    def _assign(self, statement: ast.Assign) -> TAssign:
+        lhs = self._lhs(statement.lhs)
+        rhs = self._operand(statement.rhs)
+        lhs_type = lhs.type_name if isinstance(lhs, VarLhs) \
+            else lhs.target_type
+        if rhs is not None and rhs.final_type != lhs_type:
+            raise TypeError_(
+                f"line {statement.line}: cannot assign {rhs} "
+                f"({rhs.final_type}) to {lhs} ({lhs_type})")
+        return TAssign(lhs, rhs, statement.line)
+
+    def _new(self, statement: ast.New) -> TNew:
+        lhs = self._lhs(statement.lhs)
+        type_name = lhs.type_name if isinstance(lhs, VarLhs) \
+            else lhs.target_type
+        self._check_variant(type_name, statement.variant, statement.line)
+        return TNew(lhs, type_name, statement.variant, statement.line)
+
+    def _dispose(self, statement: ast.Dispose) -> TDispose:
+        path = self._pointer_path(statement.lhs)
+        self._check_variant(path.final_type, statement.variant,
+                            statement.line)
+        return TDispose(path, path.final_type, statement.variant,
+                        statement.line)
+
+    def _check_variant(self, type_name: str, variant: str,
+                       line: int) -> None:
+        if not self.schema.variant_exists(type_name, variant):
+            raise TypeError_(
+                f"line {line}: record {type_name} has no variant "
+                f"{variant}")

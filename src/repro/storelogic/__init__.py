@@ -1,0 +1,35 @@
+"""The paper's logic of stores (§3).
+
+A first-order logic whose terms denote cells: program variables,
+``nil``, and pointer traversals; atomic formulas are (in)equality and
+*routing relations* — regular expressions over pointer traversals and
+tests (``nil?``, ``garb?``, ``(T:v)?``) relating two cells.
+
+* :mod:`repro.storelogic.ast` — formula/term/route representations;
+* :mod:`repro.storelogic.parser` — the assertion syntax used in
+  ``{...}`` program annotations;
+* :mod:`repro.storelogic.eval` — evaluation against a concrete
+  :class:`Store` (test oracle + counterexample explanation);
+* :mod:`repro.storelogic.translate` — translation into M2L against a
+  symbolic store interpretation (the verifier's path);
+* :mod:`repro.storelogic.check` — name/type checking of assertions
+  against a schema.
+"""
+
+from repro.storelogic.ast import (RouteCat, RouteField, RouteStar,
+                                  RouteTestGarb, RouteTestNil,
+                                  RouteTestVariant, RouteUnion, SAll, SAnd,
+                                  SEq, SEx, SFalse, SIff, SImplies, SNot,
+                                  SOr, SRoute, STrue, TermDeref, TermNil,
+                                  TermVar)
+from repro.storelogic.parser import parse_formula
+from repro.storelogic.eval import eval_formula
+from repro.storelogic.check import check_formula
+
+__all__ = [
+    "RouteCat", "RouteField", "RouteStar", "RouteTestGarb", "RouteTestNil",
+    "RouteTestVariant", "RouteUnion", "SAll", "SAnd", "SEq", "SEx",
+    "SFalse", "SIff", "SImplies", "SNot", "SOr", "SRoute", "STrue",
+    "TermDeref", "TermNil", "TermVar", "check_formula", "eval_formula",
+    "parse_formula",
+]

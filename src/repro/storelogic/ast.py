@@ -1,0 +1,260 @@
+"""Abstract syntax of the store logic (paper §3).
+
+Terms denote cells::
+
+    c ::= x | p | c^.n | nil | q (bound cell variable)
+
+Routing relations are regular expressions over traversals and tests::
+
+    R ::= n | (T:v)? | nil? | garb? | R.R | R+R | R*
+
+Formulas::
+
+    phi ::= c1 = c2 | c1 <R> c2 | ~phi | phi & phi | ex q: phi | ...
+
+``c1 <> c2`` is sugar for ``~(c1 = c2)`` and the unary ``<R>c`` for
+``c<R>c``, both resolved by the parser.  Atomic formulas are *false*
+when a term is undefined (a traversal from nil, from a garbage cell,
+through a variant without the field, or through an uninitialised
+field) — the paper's partial-term semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TermVar:
+    """A program variable or a quantifier-bound cell variable.
+
+    Bound cell variables shadow program variables of the same name
+    (the paper's ``delete`` does exactly this with ``q``).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TermNil:
+    """The nil cell."""
+
+    def __str__(self) -> str:
+        return "nil"
+
+
+@dataclass(frozen=True)
+class TermDeref:
+    """Pointer traversal ``base^.field``."""
+
+    base: object
+    field: str
+
+    def __str__(self) -> str:
+        return f"{self.base}^.{self.field}"
+
+
+# ----------------------------------------------------------------------
+# Routing relations
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RouteField:
+    """Traverse a pointer field."""
+
+    field: str
+
+    def __str__(self) -> str:
+        return self.field
+
+
+@dataclass(frozen=True)
+class RouteTestVariant:
+    """``(T:v)?`` — the cell has record type T (or the pointer type
+    aliasing it) and variant v."""
+
+    type_name: str
+    variant: str
+
+    def __str__(self) -> str:
+        return f"({self.type_name}:{self.variant})?"
+
+
+@dataclass(frozen=True)
+class RouteTestNil:
+    """``nil?`` — the cell is the nil cell."""
+
+    def __str__(self) -> str:
+        return "nil?"
+
+
+@dataclass(frozen=True)
+class RouteTestGarb:
+    """``garb?`` — the cell is a garbage cell."""
+
+    def __str__(self) -> str:
+        return "garb?"
+
+
+@dataclass(frozen=True)
+class RouteCat:
+    """Concatenation ``R1.R2``."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"{self.left}.{self.right}"
+
+
+@dataclass(frozen=True)
+class RouteUnion:
+    """Union ``R1+R2``."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left}+{self.right})"
+
+
+@dataclass(frozen=True)
+class RouteStar:
+    """Kleene star ``R*``."""
+
+    inner: object
+
+    def __str__(self) -> str:
+        return f"{self.inner}*"
+
+
+def route_plus(route: object) -> RouteCat:
+    """``R+`` desugars to ``R.R*``."""
+    return RouteCat(route, RouteStar(route))
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class STrue:
+    """The true formula."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class SFalse:
+    """The false formula."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class SEq:
+    """``left = right`` — both defined and equal."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class SRoute:
+    """``left <R> right`` — some R-path leads from left to right."""
+
+    left: object
+    route: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"{self.left}<{self.route}>{self.right}"
+
+
+@dataclass(frozen=True)
+class SNot:
+    """Negation."""
+
+    inner: object
+
+    def __str__(self) -> str:
+        return f"~({self.inner})"
+
+
+@dataclass(frozen=True)
+class SAnd:
+    """Conjunction."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class SOr:
+    """Disjunction."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class SImplies:
+    """Implication."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} => {self.right})"
+
+
+@dataclass(frozen=True)
+class SIff:
+    """Bi-implication."""
+
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"({self.left} <=> {self.right})"
+
+
+@dataclass(frozen=True)
+class SEx:
+    """``ex q1, q2: body`` — existential over cells of the store."""
+
+    names: Tuple[str, ...]
+    body: object
+
+    def __str__(self) -> str:
+        return f"ex {', '.join(self.names)}: {self.body}"
+
+
+@dataclass(frozen=True)
+class SAll:
+    """``all q1, q2: body`` — universal over cells of the store."""
+
+    names: Tuple[str, ...]
+    body: object
+
+    def __str__(self) -> str:
+        return f"all {', '.join(self.names)}: {self.body}"

@@ -1,0 +1,105 @@
+"""Name and type checking of store-logic assertions against a schema.
+
+:func:`check_formula` validates every variable, field and variant test
+in an assertion and returns an equivalent formula in which pointer
+type aliases (``List``) are resolved to record type names (``Item``)
+— the paper writes tests like ``(List:red)?`` with the pointer type.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.errors import TranslationError, TypeError_
+from repro.storelogic import ast
+from repro.stores.schema import Schema
+
+
+def check_formula(formula: object, schema: Schema) -> object:
+    """Check an assertion and resolve its type aliases.
+
+    Raises TranslationError when the assertion mentions unknown
+    variables, fields, types or variants.
+    """
+    return _formula(formula, schema, frozenset())
+
+
+def _formula(node: object, schema: Schema,
+             bound: FrozenSet[str]) -> object:
+    if isinstance(node, (ast.STrue, ast.SFalse)):
+        return node
+    if isinstance(node, ast.SEq):
+        _term(node.left, schema, bound)
+        _term(node.right, schema, bound)
+        return node
+    if isinstance(node, ast.SRoute):
+        _term(node.left, schema, bound)
+        _term(node.right, schema, bound)
+        return ast.SRoute(node.left, _route(node.route, schema),
+                          node.right)
+    if isinstance(node, ast.SNot):
+        return ast.SNot(_formula(node.inner, schema, bound))
+    if isinstance(node, (ast.SAnd, ast.SOr, ast.SImplies, ast.SIff)):
+        return type(node)(_formula(node.left, schema, bound),
+                          _formula(node.right, schema, bound))
+    if isinstance(node, (ast.SEx, ast.SAll)):
+        for name in node.names:
+            if name == "nil":
+                raise TranslationError("cannot bind the name 'nil'")
+        inner_bound = bound | frozenset(node.names)
+        return type(node)(node.names,
+                          _formula(node.body, schema, inner_bound))
+    raise TranslationError(f"unknown formula node {node!r}")
+
+
+def _term(node: object, schema: Schema, bound: FrozenSet[str]) -> None:
+    if isinstance(node, ast.TermNil):
+        return
+    if isinstance(node, ast.TermVar):
+        if node.name in bound:
+            return
+        if node.name in schema.data_vars or \
+                node.name in schema.pointer_vars:
+            return
+        raise TranslationError(
+            f"unknown variable {node.name} in assertion")
+    if isinstance(node, ast.TermDeref):
+        _term(node.base, schema, bound)
+        if not _field_exists(schema, node.field):
+            raise TranslationError(
+                f"no record type has a pointer field {node.field}")
+        return
+    raise TranslationError(f"unknown term node {node!r}")
+
+
+def _field_exists(schema: Schema, field: str) -> bool:
+    for record in schema.records.values():
+        for info in record.variants.values():
+            if info is not None and info.name == field:
+                return True
+    return False
+
+
+def _route(node: object, schema: Schema) -> object:
+    if isinstance(node, ast.RouteField):
+        if not _field_exists(schema, node.field):
+            raise TranslationError(
+                f"no record type has a pointer field {node.field}")
+        return node
+    if isinstance(node, (ast.RouteTestNil, ast.RouteTestGarb)):
+        return node
+    if isinstance(node, ast.RouteTestVariant):
+        try:
+            record_name = schema.resolve_record(node.type_name)
+        except TypeError_ as exc:
+            raise TranslationError(str(exc)) from None
+        if not schema.variant_exists(record_name, node.variant):
+            raise TranslationError(
+                f"record {record_name} has no variant {node.variant}")
+        return ast.RouteTestVariant(record_name, node.variant)
+    if isinstance(node, (ast.RouteCat, ast.RouteUnion)):
+        return type(node)(_route(node.left, schema),
+                          _route(node.right, schema))
+    if isinstance(node, ast.RouteStar):
+        return ast.RouteStar(_route(node.inner, schema))
+    raise TranslationError(f"unknown routing node {node!r}")

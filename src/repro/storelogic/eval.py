@@ -1,0 +1,181 @@
+"""Concrete evaluation of store-logic formulas.
+
+Evaluates an assertion against a :class:`Store` directly, implementing
+the logic's semantics by definition:
+
+* terms denote cells or are *undefined* (traversal from nil or a
+  garbage cell, through a missing variant field, or through an
+  uninitialised field);
+* atomic formulas are false when a term is undefined;
+* routing ``c<R>d`` holds when the NFA of ``R`` accepts some path from
+  ``c`` to ``d`` in the store graph, tests acting as self-loops;
+* quantifiers range over *all* cells (nil, records, garbage).
+
+This is the oracle the test-suite compares the symbolic translation
+against, and the explainer used to annotate counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import TranslationError
+from repro.automata.explicit import Nfa, Regex
+from repro.storelogic import ast
+from repro.stores.model import NIL_ID, CellKind, Store
+
+
+def eval_formula(formula: object, store: Store,
+                 env: Optional[Dict[str, int]] = None) -> bool:
+    """Truth value of ``formula`` in ``store``.
+
+    ``env`` carries values of bound cell variables (used internally by
+    quantifiers); bound names shadow program variables.
+    """
+    return _Evaluator(store).formula(formula, env or {})
+
+
+def eval_term(term: object, store: Store,
+              env: Optional[Dict[str, int]] = None) -> Optional[int]:
+    """The cell a term denotes, or None when undefined."""
+    return _Evaluator(store).term(term, env or {})
+
+
+class _Evaluator:
+    def __init__(self, store: Store) -> None:
+        self.store = store
+        self._route_nfas: Dict[int, Nfa] = {}
+
+    # -- terms ----------------------------------------------------------
+
+    def term(self, node: object, env: Dict[str, int]) -> Optional[int]:
+        if isinstance(node, ast.TermNil):
+            return NIL_ID
+        if isinstance(node, ast.TermVar):
+            if node.name in env:
+                return env[node.name]
+            return self.store.var(node.name)
+        if isinstance(node, ast.TermDeref):
+            base = self.term(node.base, env)
+            if base is None:
+                return None
+            return self._deref(base, node.field)
+        raise TranslationError(f"unknown term node {node!r}")
+
+    def _deref(self, ident: int, field: str) -> Optional[int]:
+        cell = self.store.cell(ident)
+        if cell.kind is not CellKind.RECORD:
+            return None
+        record = self.store.schema.record(cell.type_name or "")
+        info = record.field_of(cell.variant or "")
+        if info is None or info.name != field:
+            return None
+        return cell.next  # None when uninitialised
+
+    # -- formulas -------------------------------------------------------
+
+    def formula(self, node: object, env: Dict[str, int]) -> bool:
+        if isinstance(node, ast.STrue):
+            return True
+        if isinstance(node, ast.SFalse):
+            return False
+        if isinstance(node, ast.SEq):
+            left = self.term(node.left, env)
+            right = self.term(node.right, env)
+            return left is not None and left == right
+        if isinstance(node, ast.SRoute):
+            left = self.term(node.left, env)
+            right = self.term(node.right, env)
+            if left is None or right is None:
+                return False
+            return self._route_holds(node.route, left, right)
+        if isinstance(node, ast.SNot):
+            return not self.formula(node.inner, env)
+        if isinstance(node, ast.SAnd):
+            return self.formula(node.left, env) and \
+                self.formula(node.right, env)
+        if isinstance(node, ast.SOr):
+            return self.formula(node.left, env) or \
+                self.formula(node.right, env)
+        if isinstance(node, ast.SImplies):
+            return (not self.formula(node.left, env)) or \
+                self.formula(node.right, env)
+        if isinstance(node, ast.SIff):
+            return self.formula(node.left, env) == \
+                self.formula(node.right, env)
+        if isinstance(node, (ast.SEx, ast.SAll)):
+            universal = isinstance(node, ast.SAll)
+            return self._quantified(node, env, universal)
+        raise TranslationError(f"unknown formula node {node!r}")
+
+    def _quantified(self, node: object, env: Dict[str, int],
+                    universal: bool) -> bool:
+        cells = [cell.ident for cell in self.store.cells()]
+
+        def go(names: Tuple[str, ...], current: Dict[str, int]) -> bool:
+            if not names:
+                return self.formula(node.body, current)  # type: ignore[attr-defined]
+            name, rest = names[0], names[1:]
+            results = (go(rest, {**current, name: ident})
+                       for ident in cells)
+            return all(results) if universal else any(results)
+
+        return go(node.names, env)  # type: ignore[attr-defined]
+
+    # -- routing --------------------------------------------------------
+
+    def _route_holds(self, route: object, source: int,
+                     target: int) -> bool:
+        nfa = self._route_nfas.get(id(route))
+        if nfa is None:
+            nfa = _route_regex(route).to_nfa()
+            self._route_nfas[id(route)] = nfa
+        # BFS over (cell, nfa-state) pairs.
+        start = {(source, q) for q in nfa.eps_closure(nfa.initial)}
+        seen: Set[Tuple[int, int]] = set(start)
+        frontier = list(start)
+        while frontier:
+            cell_id, state = frontier.pop()
+            if cell_id == target and state in nfa.accepting:
+                return True
+            for (src, symbol), targets in nfa.transitions.items():
+                if src != state:
+                    continue
+                for moved in self._apply_symbol(symbol, cell_id):
+                    for nxt in nfa.eps_closure(targets):
+                        pair = (moved, nxt)
+                        if pair not in seen:
+                            seen.add(pair)
+                            frontier.append(pair)
+        return False
+
+    def _apply_symbol(self, symbol: object,
+                      cell_id: int) -> Iterable[int]:
+        if isinstance(symbol, ast.RouteField):
+            moved = self._deref(cell_id, symbol.field)
+            return [] if moved is None else [moved]
+        cell = self.store.cell(cell_id)
+        if isinstance(symbol, ast.RouteTestNil):
+            return [cell_id] if cell.kind is CellKind.NIL else []
+        if isinstance(symbol, ast.RouteTestGarb):
+            return [cell_id] if cell.kind is CellKind.GARBAGE else []
+        if isinstance(symbol, ast.RouteTestVariant):
+            matches = (cell.kind is CellKind.RECORD
+                       and cell.type_name == symbol.type_name
+                       and cell.variant == symbol.variant)
+            return [cell_id] if matches else []
+        raise TranslationError(f"unknown routing symbol {symbol!r}")
+
+
+def _route_regex(route: object) -> Regex:
+    """Lower a routing relation to a Regex over traversal/test symbols."""
+    if isinstance(route, (ast.RouteField, ast.RouteTestNil,
+                          ast.RouteTestGarb, ast.RouteTestVariant)):
+        return Regex.symbol(route)
+    if isinstance(route, ast.RouteCat):
+        return _route_regex(route.left) + _route_regex(route.right)
+    if isinstance(route, ast.RouteUnion):
+        return _route_regex(route.left) | _route_regex(route.right)
+    if isinstance(route, ast.RouteStar):
+        return _route_regex(route.inner).star()
+    raise TranslationError(f"unknown routing node {route!r}")

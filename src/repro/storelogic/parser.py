@@ -1,0 +1,300 @@
+"""Parser for the assertion syntax of the store logic.
+
+The concrete syntax follows the paper's examples::
+
+    x<next*>p & p^.next = nil
+    all c, d: c<next>d => <garb?>d
+    ~<(List:red)?>p => x<next*>p
+    ex g: <garb?>g
+
+Operators (loosest first): ``<=>``, ``=>`` (right associative),
+``|``/``or``, ``&``/``and``, ``~``/``not``; quantifier bodies extend
+as far right as possible.  ``c1 <> c2`` is parsed as ``~(c1 = c2)``
+and ``<R>c`` as ``c<R>c``.
+
+In routing relations ``+`` is *union* when a relation follows and the
+postfix "one or more" otherwise, so both ``x<next+>p`` and
+``a+b`` parse as the paper intends.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+from repro.storelogic import ast
+
+
+class _Kind(enum.Enum):
+    IDENT = "identifier"
+    LPAREN = "("
+    RPAREN = ")"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    CARET = "^"
+    QUESTION = "?"
+    STAR = "*"
+    PLUS = "+"
+    LT = "<"
+    GT = ">"
+    EQ = "="
+    NEQ = "<>"
+    AND = "&"
+    OR = "|"
+    NOT = "~"
+    IMPLIES = "=>"
+    IFF = "<=>"
+    EOF = "end of formula"
+
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=>|<>|=>|[()=:,.^?*+<>&|~!])
+""", re.VERBOSE)
+
+_OP_KINDS = {
+    "(": _Kind.LPAREN, ")": _Kind.RPAREN, ":": _Kind.COLON,
+    ",": _Kind.COMMA, ".": _Kind.DOT, "^": _Kind.CARET,
+    "?": _Kind.QUESTION, "*": _Kind.STAR, "+": _Kind.PLUS,
+    "<": _Kind.LT, ">": _Kind.GT, "=": _Kind.EQ, "<>": _Kind.NEQ,
+    "&": _Kind.AND, "|": _Kind.OR, "~": _Kind.NOT, "!": _Kind.NOT,
+    "=>": _Kind.IMPLIES, "<=>": _Kind.IFF,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: _Kind
+    value: str
+    column: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    index = 0
+    while index < len(text):
+        match = _TOKEN_RE.match(text, index)
+        if match is None:
+            raise ParseError(
+                f"bad character {text[index]!r} in formula", 1, index + 1)
+        if match.lastgroup == "ident":
+            tokens.append(_Token(_Kind.IDENT, match.group(), index + 1))
+        elif match.lastgroup == "op":
+            tokens.append(_Token(_OP_KINDS[match.group()], match.group(),
+                                 index + 1))
+        index = match.end()
+    tokens.append(_Token(_Kind.EOF, "", len(text) + 1))
+    return tokens
+
+
+def parse_formula(text: str) -> object:
+    """Parse an assertion; raises ParseError on malformed input."""
+    parser = _Parser(_tokenize(text), text)
+    formula = parser.formula()
+    parser.expect(_Kind.EOF)
+    return formula
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._source = source
+
+    def peek(self, offset: int = 0) -> _Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token.kind is not _Kind.EOF:
+            self._index += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} (at column {token.column} of {self._source!r})",
+            1, token.column)
+
+    def expect(self, kind: _Kind) -> _Token:
+        if self.peek().kind is not kind:
+            raise self.error(f"expected {kind.value}")
+        return self.next()
+
+    def at_word(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind is _Kind.IDENT and token.value == word
+
+    # -- formulas -------------------------------------------------------
+
+    def formula(self) -> object:
+        return self._iff()
+
+    def _iff(self) -> object:
+        left = self._implies()
+        while self.peek().kind is _Kind.IFF:
+            self.next()
+            left = ast.SIff(left, self._implies())
+        return left
+
+    def _implies(self) -> object:
+        left = self._or()
+        if self.peek().kind is _Kind.IMPLIES:
+            self.next()
+            return ast.SImplies(left, self._implies())
+        return left
+
+    def _or(self) -> object:
+        left = self._and()
+        while self.peek().kind is _Kind.OR or self.at_word("or"):
+            self.next()
+            left = ast.SOr(left, self._and())
+        return left
+
+    def _and(self) -> object:
+        left = self._unary()
+        while self.peek().kind is _Kind.AND or self.at_word("and"):
+            self.next()
+            left = ast.SAnd(left, self._unary())
+        return left
+
+    def _unary(self) -> object:
+        token = self.peek()
+        if token.kind is _Kind.NOT or self.at_word("not"):
+            self.next()
+            return ast.SNot(self._unary())
+        if self.at_word("all") or self.at_word("ex"):
+            universal = token.value == "all"
+            self.next()
+            names = [self.expect(_Kind.IDENT).value]
+            while self.peek().kind is _Kind.COMMA:
+                self.next()
+                names.append(self.expect(_Kind.IDENT).value)
+            self.expect(_Kind.COLON)
+            body = self.formula()
+            node = ast.SAll if universal else ast.SEx
+            return node(tuple(names), body)
+        return self._primary()
+
+    def _primary(self) -> object:
+        token = self.peek()
+        if self.at_word("true"):
+            self.next()
+            return ast.STrue()
+        if self.at_word("false"):
+            self.next()
+            return ast.SFalse()
+        if token.kind is _Kind.LPAREN:
+            self.next()
+            inner = self.formula()
+            self.expect(_Kind.RPAREN)
+            return inner
+        if token.kind is _Kind.LT:
+            self.next()
+            route = self._route()
+            self.expect(_Kind.GT)
+            term = self._term()
+            return ast.SRoute(term, route, term)
+        return self._relation()
+
+    def _relation(self) -> object:
+        left = self._term()
+        token = self.peek()
+        if token.kind is _Kind.EQ:
+            self.next()
+            return ast.SEq(left, self._term())
+        if token.kind is _Kind.NEQ:
+            self.next()
+            return ast.SNot(ast.SEq(left, self._term()))
+        if token.kind is _Kind.LT:
+            self.next()
+            route = self._route()
+            self.expect(_Kind.GT)
+            return ast.SRoute(left, route, self._term())
+        raise self.error("expected '=', '<>' or '<R>' after a term")
+
+    # -- terms ----------------------------------------------------------
+
+    def _term(self) -> object:
+        token = self.peek()
+        if token.kind is not _Kind.IDENT:
+            raise self.error("expected a cell term")
+        self.next()
+        term: object = ast.TermNil() if token.value == "nil" \
+            else ast.TermVar(token.value)
+        while self.peek().kind is _Kind.CARET:
+            self.next()
+            self.expect(_Kind.DOT)
+            field = self.expect(_Kind.IDENT).value
+            term = ast.TermDeref(term, field)
+        return term
+
+    # -- routing relations ------------------------------------------------
+
+    def _route(self) -> object:
+        left = self._route_cat()
+        while self.peek().kind is _Kind.PLUS and \
+                self._starts_route(self.peek(1)):
+            self.next()
+            left = ast.RouteUnion(left, self._route_cat())
+        return left
+
+    def _route_cat(self) -> object:
+        left = self._route_postfix()
+        while self.peek().kind is _Kind.DOT:
+            self.next()
+            left = ast.RouteCat(left, self._route_postfix())
+        return left
+
+    def _route_postfix(self) -> object:
+        inner = self._route_primary()
+        while True:
+            token = self.peek()
+            if token.kind is _Kind.STAR:
+                self.next()
+                inner = ast.RouteStar(inner)
+            elif token.kind is _Kind.PLUS and \
+                    not self._starts_route(self.peek(1)):
+                self.next()
+                inner = ast.route_plus(inner)
+            else:
+                return inner
+
+    def _starts_route(self, token: _Token) -> bool:
+        return token.kind in (_Kind.IDENT, _Kind.LPAREN)
+
+    def _route_primary(self) -> object:
+        token = self.peek()
+        if token.kind is _Kind.IDENT:
+            self.next()
+            if self.peek().kind is _Kind.QUESTION:
+                self.next()
+                if token.value == "nil":
+                    return ast.RouteTestNil()
+                if token.value == "garb":
+                    return ast.RouteTestGarb()
+                raise self.error(
+                    f"unknown test {token.value}?; use nil?, garb? or "
+                    f"(T:v)?")
+            return ast.RouteField(token.value)
+        if token.kind is _Kind.LPAREN:
+            if self.peek(1).kind is _Kind.IDENT and \
+                    self.peek(2).kind is _Kind.COLON:
+                self.next()
+                type_name = self.expect(_Kind.IDENT).value
+                self.expect(_Kind.COLON)
+                variant = self.expect(_Kind.IDENT).value
+                self.expect(_Kind.RPAREN)
+                self.expect(_Kind.QUESTION)
+                return ast.RouteTestVariant(type_name, variant)
+            self.next()
+            inner = self._route()
+            self.expect(_Kind.RPAREN)
+            return inner
+        raise self.error("expected a routing relation")

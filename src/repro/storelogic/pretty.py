@@ -1,0 +1,113 @@
+"""Pretty-printing of store-logic assertions.
+
+``pretty_formula`` emits the same concrete syntax
+:mod:`repro.storelogic.parser` reads; printing then re-parsing yields
+a structurally equal formula (up to the sugar the parser resolves:
+``<>`` prints as ``~(... = ...)``'s sugared form and ``R+`` as
+``R.R*``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.storelogic import ast
+
+_PREC_IFF = 0
+_PREC_IMPLIES = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_UNARY = 4
+
+
+def pretty_formula(formula: object) -> str:
+    """Render an assertion in the annotation syntax."""
+    return _formula(formula, 0)
+
+
+def pretty_route(route: object) -> str:
+    """Render a routing relation."""
+    return _route(route, 0)
+
+
+def _parens(text: str, prec: int, context: int) -> str:
+    return f"({text})" if prec < context else text
+
+
+def _formula(node: object, context: int) -> str:
+    if isinstance(node, ast.STrue):
+        return "true"
+    if isinstance(node, ast.SFalse):
+        return "false"
+    if isinstance(node, ast.SEq):
+        return f"{_term(node.left)} = {_term(node.right)}"
+    if isinstance(node, ast.SRoute):
+        route = _route(node.route, 0)
+        if node.left == node.right:
+            return f"<{route}>{_term(node.right)}"
+        return f"{_term(node.left)}<{route}>{_term(node.right)}"
+    if isinstance(node, ast.SNot):
+        if isinstance(node.inner, ast.SEq):
+            inner = node.inner
+            return f"{_term(inner.left)} <> {_term(inner.right)}"
+        return _parens(f"~{_formula(node.inner, _PREC_UNARY)}",
+                       _PREC_UNARY, context)
+    if isinstance(node, ast.SAnd):
+        text = (f"{_formula(node.left, _PREC_AND)} & "
+                f"{_formula(node.right, _PREC_AND)}")
+        return _parens(text, _PREC_AND, context + 1)
+    if isinstance(node, ast.SOr):
+        text = (f"{_formula(node.left, _PREC_OR)} | "
+                f"{_formula(node.right, _PREC_OR)}")
+        return _parens(text, _PREC_OR, context + 1)
+    if isinstance(node, ast.SImplies):
+        text = (f"{_formula(node.left, _PREC_IMPLIES + 1)} => "
+                f"{_formula(node.right, _PREC_IMPLIES)}")
+        return _parens(text, _PREC_IMPLIES, context + 1)
+    if isinstance(node, ast.SIff):
+        text = (f"{_formula(node.left, _PREC_IFF + 1)} <=> "
+                f"{_formula(node.right, _PREC_IFF + 1)}")
+        return _parens(text, _PREC_IFF, context + 1)
+    if isinstance(node, (ast.SEx, ast.SAll)):
+        word = "ex" if isinstance(node, ast.SEx) else "all"
+        names = ", ".join(node.names)
+        text = f"{word} {names}: {_formula(node.body, 0)}"
+        return _parens(text, 0, context + 1)
+    raise TranslationError(f"unknown formula node {node!r}")
+
+
+def _term(node: object) -> str:
+    if isinstance(node, ast.TermNil):
+        return "nil"
+    if isinstance(node, ast.TermVar):
+        return node.name
+    if isinstance(node, ast.TermDeref):
+        return f"{_term(node.base)}^.{node.field}"
+    raise TranslationError(f"unknown term node {node!r}")
+
+
+#: Routing precedence: union < concatenation < postfix.
+_R_UNION = 0
+_R_CAT = 1
+_R_POST = 2
+
+
+def _route(node: object, context: int) -> str:
+    if isinstance(node, ast.RouteField):
+        return node.field
+    if isinstance(node, ast.RouteTestNil):
+        return "nil?"
+    if isinstance(node, ast.RouteTestGarb):
+        return "garb?"
+    if isinstance(node, ast.RouteTestVariant):
+        return f"({node.type_name}:{node.variant})?"
+    if isinstance(node, ast.RouteCat):
+        text = (f"{_route(node.left, _R_CAT)}."
+                f"{_route(node.right, _R_CAT)}")
+        return _parens(text, _R_CAT, context + 1)
+    if isinstance(node, ast.RouteUnion):
+        text = (f"{_route(node.left, _R_UNION)}+"
+                f"{_route(node.right, _R_UNION)}")
+        return _parens(text, _R_UNION, context + 1)
+    if isinstance(node, ast.RouteStar):
+        return f"{_route(node.inner, _R_POST + 1)}*"
+    raise TranslationError(f"unknown routing node {node!r}")

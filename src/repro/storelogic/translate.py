@@ -1,0 +1,160 @@
+"""Translation of store-logic assertions into M2L.
+
+Given a :class:`SymbolicStore` interpretation, every assertion becomes
+an M2L formula over the initial string's tracks (paper §6: "it turns
+out to be a straightforward task to inductively translate formulas of
+our store logic into equivalent formulas of M2L").
+
+* cell terms become *position functions* (true at the position the
+  term denotes, nowhere when the term is undefined);
+* atomic formulas existentially bind positions for their terms, so
+  they are false on undefined terms — the partial-term semantics;
+* routing relations translate structurally; Kleene star uses one
+  second-order quantifier ("every R-closed set containing the source
+  contains the target");
+* cell-variable quantifiers are relativised to cells (nil, record, or
+  garbage positions — never lim positions).
+
+Assertions must have been resolved with
+:func:`repro.storelogic.check.check_formula` first (pointer aliases in
+variant tests rewritten to record type names).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import TranslationError
+from repro.mso.ast import Formula, Var, VarKind
+from repro.mso.build import FormulaBuilder as F
+from repro.storelogic import ast
+from repro.stores.encode import record_label
+from repro.symbolic.state import (PosFn, Rel2, SymbolicStore, fresh_pos,
+                                  memo1)
+
+
+def translate_formula(formula: object, store: SymbolicStore) -> Formula:
+    """Translate a checked assertion under the given interpretation."""
+    return _Translator(store).formula(formula, {})
+
+
+class _Translator:
+    def __init__(self, store: SymbolicStore) -> None:
+        self.store = store
+
+    # -- terms ----------------------------------------------------------
+
+    def term(self, node: object, env: Dict[str, Var]) -> PosFn:
+        if isinstance(node, ast.TermNil):
+            return memo1(lambda p: F.first(p))
+        if isinstance(node, ast.TermVar):
+            bound = env.get(node.name)
+            if bound is not None:
+                return memo1(lambda p, b=bound: F.eq_pos(b, p))
+            if node.name not in self.store.var_pos:
+                raise TranslationError(
+                    f"unknown variable {node.name} in assertion")
+            return self.store.var_pos[node.name]
+        if isinstance(node, ast.TermDeref):
+            base = self.term(node.base, env)
+            deref = self.store.deref(node.field)
+
+            def step(p: Var) -> Formula:
+                mid = fresh_pos("tt")
+                return F.ex1([mid], F.and_(base(mid), deref(mid, p)))
+
+            return memo1(step)
+        raise TranslationError(f"unknown term node {node!r}")
+
+    # -- routing --------------------------------------------------------
+
+    def route(self, node: object) -> Rel2:
+        if isinstance(node, ast.RouteField):
+            return self.store.deref(node.field)
+        if isinstance(node, ast.RouteTestNil):
+            return lambda p, q: F.and_(F.eq_pos(p, q), F.first(p))
+        if isinstance(node, ast.RouteTestGarb):
+            return lambda p, q: F.and_(F.eq_pos(p, q), self.store.garb(p))
+        if isinstance(node, ast.RouteTestVariant):
+            label = record_label(node.type_name, node.variant)
+            if label not in self.store.label_of:
+                raise TranslationError(
+                    f"unknown label {node.type_name}:{node.variant}")
+            fn = self.store.label_of[label]
+            return lambda p, q: F.and_(F.eq_pos(p, q), fn(p))
+        if isinstance(node, ast.RouteCat):
+            left = self.route(node.left)
+            right = self.route(node.right)
+
+            def cat(p: Var, q: Var) -> Formula:
+                mid = fresh_pos("rc")
+                return F.ex1([mid], F.and_(left(p, mid), right(mid, q)))
+
+            return cat
+        if isinstance(node, ast.RouteUnion):
+            left = self.route(node.left)
+            right = self.route(node.right)
+            return lambda p, q: F.or_(left(p, q), right(p, q))
+        if isinstance(node, ast.RouteStar):
+            inner = self.route(node.inner)
+
+            def star(p: Var, q: Var) -> Formula:
+                closure = Var.fresh("rs", VarKind.SECOND)
+                a, b = fresh_pos("rs"), fresh_pos("rs")
+                closed = F.all1([a, b], F.implies(
+                    F.and_(F.mem(a, closure), inner(a, b)),
+                    F.mem(b, closure)))
+                return F.all2([closure], F.implies(
+                    F.and_(F.mem(p, closure), closed),
+                    F.mem(q, closure)))
+
+            return star
+        raise TranslationError(f"unknown routing node {node!r}")
+
+    # -- formulas -------------------------------------------------------
+
+    def formula(self, node: object, env: Dict[str, Var]) -> Formula:
+        if isinstance(node, ast.STrue):
+            return F.conj([])
+        if isinstance(node, ast.SFalse):
+            return F.disj([])
+        if isinstance(node, ast.SEq):
+            left = self.term(node.left, env)
+            right = self.term(node.right, env)
+            here = fresh_pos("se")
+            return F.ex1([here], F.and_(left(here), right(here)))
+        if isinstance(node, ast.SRoute):
+            left = self.term(node.left, env)
+            right = self.term(node.right, env)
+            relation = self.route(node.route)
+            p, q = fresh_pos("sr"), fresh_pos("sr")
+            return F.ex1([p, q], F.conj([left(p), right(q),
+                                         relation(p, q)]))
+        if isinstance(node, ast.SNot):
+            return F.not_(self.formula(node.inner, env))
+        if isinstance(node, ast.SAnd):
+            return F.and_(self.formula(node.left, env),
+                          self.formula(node.right, env))
+        if isinstance(node, ast.SOr):
+            return F.or_(self.formula(node.left, env),
+                         self.formula(node.right, env))
+        if isinstance(node, ast.SImplies):
+            return F.implies(self.formula(node.left, env),
+                             self.formula(node.right, env))
+        if isinstance(node, ast.SIff):
+            return F.iff(self.formula(node.left, env),
+                         self.formula(node.right, env))
+        if isinstance(node, (ast.SEx, ast.SAll)):
+            universal = isinstance(node, ast.SAll)
+            inner_env = dict(env)
+            cell_vars = []
+            for name in node.names:
+                cell_var = fresh_pos(name)
+                inner_env[name] = cell_var
+                cell_vars.append(cell_var)
+            body = self.formula(node.body, inner_env)
+            domain = F.conj(self.store.is_cell(v) for v in cell_vars)
+            if universal:
+                return F.all1(cell_vars, F.implies(domain, body))
+            return F.ex1(cell_vars, F.and_(domain, body))
+        raise TranslationError(f"unknown formula node {node!r}")

@@ -1,0 +1,30 @@
+"""Concrete stores and their string encodings (paper §3).
+
+A *store* consists of a distinguished nil cell, record cells labelled
+with a record type and variant, and garbage cells (deallocated
+records).  Data variables own disjoint nil-terminated lists; pointer
+variables may reference any record cell or nil.
+
+* :mod:`repro.stores.schema` — the type information (enums, record
+  types with variants, variable classification) shared by the type
+  checker, the store model, and the logic translation;
+* :mod:`repro.stores.model` — mutable concrete stores with a full
+  well-formedness checker;
+* :mod:`repro.stores.encode` — the paper's store-as-string encoding
+  and its inverse;
+* :mod:`repro.stores.render` — ASCII rendering of stores and symbol
+  strings (the counterexample "cartoons").
+"""
+
+from repro.stores.schema import FieldInfo, RecordType, Schema
+from repro.stores.model import Cell, CellKind, Store
+from repro.stores.encode import (LABEL_GARB, LABEL_LIM, LABEL_NIL, Symbol,
+                                 decode_store, encode_store, record_label)
+from repro.stores.render import render_store, render_symbols
+
+__all__ = [
+    "Cell", "CellKind", "FieldInfo", "LABEL_GARB", "LABEL_LIM",
+    "LABEL_NIL", "RecordType", "Schema", "Store", "Symbol",
+    "decode_store", "encode_store", "record_label", "render_store",
+    "render_symbols",
+]

@@ -1,0 +1,190 @@
+"""The paper's store-as-string encoding (§3) and its inverse.
+
+A well-formed store becomes a string over the *store alphabet*: each
+symbol carries a **label** — ``nil``, ``garb``, ``lim``, or a record
+``(T:v)`` pair — and a **bitmap** naming the program variables sitting
+on that position.  The layout rules:
+
+* position 0 (and no other) is labelled ``nil``;
+* then, in data-variable declaration order, each list as its cells in
+  list order followed by one ``lim`` symbol (an empty list is just the
+  ``lim``);
+* then the garbage cells;
+* every variable occurs in exactly one bitmap: a data variable on the
+  root of its list (on ``nil`` when empty), a pointer variable on its
+  destination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.errors import StoreError
+from repro.stores.model import NIL_ID, Cell, CellKind, Store
+from repro.stores.schema import Schema
+
+#: Label of the distinguished nil position.
+LABEL_NIL = ("nil",)
+#: Label of deallocated (available) cells.
+LABEL_GARB = ("garb",)
+#: Label of the list delimiter symbols.
+LABEL_LIM = ("lim",)
+
+Label = Tuple[str, ...]
+
+
+def record_label(type_name: str, variant: str) -> Label:
+    """The label of a record cell of ``type_name`` and ``variant``."""
+    return ("rec", type_name, variant)
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One store-alphabet symbol: a label plus a variable bitmap."""
+
+    label: Label
+    bitmap: FrozenSet[str]
+
+    def __str__(self) -> str:
+        if self.label[0] == "rec":
+            text = f"({self.label[1]}:{self.label[2]})"
+        else:
+            text = self.label[0]
+        names = ",".join(sorted(self.bitmap))
+        return f"[{text},{{{names}}}]"
+
+
+def encode_store(store: Store) -> List[Symbol]:
+    """Encode a well-formed store as its canonical symbol string.
+
+    Raises StoreError when the store is not well-formed (the encoding
+    is only defined on well-formed stores).
+    """
+    problems = store.violations()
+    if problems:
+        raise StoreError("cannot encode ill-formed store: "
+                         + "; ".join(problems))
+    position_of = {NIL_ID: 0}
+    labels: List[Label] = [LABEL_NIL]
+    for name in store.schema.data_vars:
+        for ident in store.list_of(name):
+            cell = store.cell(ident)
+            position_of[ident] = len(labels)
+            labels.append(record_label(cell.type_name or "",
+                                       cell.variant or ""))
+        labels.append(LABEL_LIM)
+    for ident in store.garbage_ids():
+        position_of[ident] = len(labels)
+        labels.append(LABEL_GARB)
+    bitmaps: List[set] = [set() for _ in labels]
+    for name, ident in store.vars.items():
+        bitmaps[position_of[ident]].add(name)
+    return [Symbol(label, frozenset(bitmap))
+            for label, bitmap in zip(labels, bitmaps)]
+
+
+def decode_store(schema: Schema, symbols: Sequence[Symbol]) -> Store:
+    """Decode a symbol string back into a concrete store.
+
+    Cell ids equal string positions, so decoding and the symbolic
+    engine agree on allocation order.  Raises StoreError when the
+    string violates the encoding rules.
+    """
+    if not symbols or symbols[0].label != LABEL_NIL:
+        raise StoreError("position 0 must be the nil symbol")
+    store = Store(schema)
+    # Cells are created directly at their string positions; lim
+    # positions have no cell, so cell ids are sparse but ordered.
+    segments: List[List[int]] = []
+    current: List[int] = []
+    data_names = list(schema.data_vars)
+    in_garbage = False
+    for position in range(1, len(symbols)):
+        symbol = symbols[position]
+        if symbol.label == LABEL_NIL:
+            raise StoreError(f"extra nil symbol at position {position}")
+        if symbol.label == LABEL_LIM:
+            if in_garbage:
+                raise StoreError(
+                    f"lim symbol at position {position} after garbage")
+            segments.append(current)
+            current = []
+            if len(segments) > len(data_names):
+                raise StoreError("more lim symbols than data variables")
+        elif symbol.label == LABEL_GARB:
+            if len(segments) != len(data_names):
+                raise StoreError(
+                    f"garbage at position {position} before all lists "
+                    f"were delimited")
+            in_garbage = True
+            store._cells[position] = Cell(position, CellKind.GARBAGE)
+        else:
+            if len(segments) == len(data_names):
+                raise StoreError(
+                    f"record cell at position {position} after the last "
+                    f"list was delimited")
+            kind, type_name, variant = (symbol.label + ("", ""))[:3]
+            if kind != "rec" or not schema.variant_exists(type_name,
+                                                          variant):
+                raise StoreError(
+                    f"unknown label {symbol.label} at position {position}")
+            store._cells[position] = Cell(position, CellKind.RECORD,
+                                          type_name, variant)
+            current.append(position)
+    if len(segments) != len(data_names):
+        raise StoreError("missing lim symbols: found "
+                         f"{len(segments)} of {len(data_names)}")
+    store._next_id = len(symbols)
+    _link_segments(store, schema, segments)
+    _apply_bitmaps(store, schema, symbols, segments, data_names)
+    return store
+
+
+def _link_segments(store: Store, schema: Schema,
+                   segments: List[List[int]]) -> None:
+    for segment in segments:
+        for here, there in zip(segment, segment[1:]):
+            cell = store.cell(here)
+            record = schema.record(cell.type_name or "")
+            if record.field_of(cell.variant or "") is None:
+                raise StoreError(
+                    f"cell {here}: variant {cell.variant} has no pointer "
+                    f"field but is followed by another cell")
+            cell.next = there
+        if segment:
+            last = store.cell(segment[-1])
+            record = schema.record(last.type_name or "")
+            if record.field_of(last.variant or "") is not None:
+                last.next = NIL_ID
+
+
+def _apply_bitmaps(store: Store, schema: Schema,
+                   symbols: Sequence[Symbol], segments: List[List[int]],
+                   data_names: List[str]) -> None:
+    placed: dict = {}
+    for position, symbol in enumerate(symbols):
+        for name in symbol.bitmap:
+            if name in placed:
+                raise StoreError(
+                    f"variable {name} occurs in two bitmaps "
+                    f"(positions {placed[name]} and {position})")
+            placed[name] = position
+    for name in schema.all_vars():
+        if name not in placed:
+            raise StoreError(f"variable {name} occurs in no bitmap")
+    for index, name in enumerate(data_names):
+        segment = segments[index]
+        expected = segment[0] if segment else 0
+        if placed[name] != expected:
+            raise StoreError(
+                f"data variable {name} must sit at position {expected}, "
+                f"found at {placed[name]}")
+        store.set_var(name, expected)
+    for name in schema.pointer_vars:
+        position = placed[name]
+        label = symbols[position].label
+        if label in (LABEL_LIM, LABEL_GARB):
+            raise StoreError(
+                f"pointer variable {name} sits on a {label[0]} symbol")
+        store.set_var(name, position if label != LABEL_NIL else NIL_ID)

@@ -1,0 +1,338 @@
+"""Concrete stores: cells, variables, and well-formedness.
+
+The store model of paper §3: a distinguished *nil* cell, *record*
+cells labelled with a record type and variant and carrying at most one
+outgoing pointer, and *garbage* cells (deallocated records, no
+pointers in or out).  Named handles are the program's *data* variables
+(each owning a disjoint nil-terminated list) and *pointer* variables
+(pointing anywhere into the lists, or to nil).
+
+:class:`Store` is deliberately permissive: programs transit through
+ill-formed stores (e.g. between ``dispose`` and the reassignment of
+the dangling variable in the paper's ``delete``), so mutation methods
+do not enforce well-formedness — :meth:`Store.violations` checks it on
+demand, exactly as the verifier checks it at assertion points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.stores.schema import Schema
+
+#: The cell id of the distinguished nil cell.
+NIL_ID = 0
+
+
+class CellKind(enum.Enum):
+    """What a cell currently is."""
+
+    NIL = "nil"
+    RECORD = "record"
+    GARBAGE = "garbage"
+
+
+@dataclass
+class Cell:
+    """One memory cell.
+
+    Attributes:
+        ident: the cell id (0 is always the nil cell).
+        kind: nil / record / garbage.
+        type_name: record type, or None for nil and garbage cells.
+        variant: current variant tag, or None likewise.
+        next: target cell id of the pointer field; ``NIL_ID`` for nil,
+            None when undefined (fresh cells, garbage cells, and
+            variants without a pointer field).
+    """
+
+    ident: int
+    kind: CellKind
+    type_name: Optional[str] = None
+    variant: Optional[str] = None
+    next: Optional[int] = None
+
+
+class Store:
+    """A mutable concrete store over a :class:`Schema`.
+
+    All program variables exist from construction and start at nil.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._cells: Dict[int, Cell] = {
+            NIL_ID: Cell(NIL_ID, CellKind.NIL)}
+        self._next_id = 1
+        self.vars: Dict[str, int] = {
+            name: NIL_ID for name in schema.all_vars()}
+
+    # ------------------------------------------------------------------
+    # Construction and copying
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Store":
+        """An independent deep copy."""
+        copy = Store(self.schema)
+        copy._cells = {ident: Cell(cell.ident, cell.kind, cell.type_name,
+                                   cell.variant, cell.next)
+                       for ident, cell in self._cells.items()}
+        copy._next_id = self._next_id
+        copy.vars = dict(self.vars)
+        return copy
+
+    def add_record(self, type_name: str, variant: str,
+                   next_id: Optional[int] = None) -> int:
+        """Create a record cell; returns its id.
+
+        ``next_id`` is the pointer-field target (None = undefined).
+        """
+        if not self.schema.variant_exists(type_name, variant):
+            raise StoreError(
+                f"no variant {variant} in record type {type_name}")
+        ident = self._next_id
+        self._next_id += 1
+        self._cells[ident] = Cell(ident, CellKind.RECORD, type_name,
+                                  variant, next_id)
+        return ident
+
+    def add_garbage(self) -> int:
+        """Create a garbage cell (available memory); returns its id."""
+        ident = self._next_id
+        self._next_id += 1
+        self._cells[ident] = Cell(ident, CellKind.GARBAGE)
+        return ident
+
+    def make_list(self, data_var: str, variants: List[str],
+                  type_name: Optional[str] = None) -> List[int]:
+        """Build a fresh list of the given variants and attach it to
+        ``data_var``.  Returns the new cell ids, head first."""
+        if type_name is None:
+            type_name = self.schema.var_type(data_var)
+        ids = [self.add_record(type_name, variant) for variant in variants]
+        for here, there in zip(ids, ids[1:]):
+            self._cells[here].next = there
+        if ids:
+            self._cells[ids[-1]].next = NIL_ID
+            self.vars[data_var] = ids[0]
+        else:
+            self.vars[data_var] = NIL_ID
+        return ids
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def cell(self, ident: int) -> Cell:
+        """The cell with the given id."""
+        try:
+            return self._cells[ident]
+        except KeyError:
+            raise StoreError(f"no cell with id {ident}") from None
+
+    def cells(self) -> Iterator[Cell]:
+        """All cells in ascending id order (nil first)."""
+        for ident in sorted(self._cells):
+            yield self._cells[ident]
+
+    def var(self, name: str) -> int:
+        """The cell id a variable currently references."""
+        try:
+            return self.vars[name]
+        except KeyError:
+            raise StoreError(f"unknown variable {name}") from None
+
+    def set_var(self, name: str, ident: int) -> None:
+        """Point a variable at a cell (no well-formedness enforcement)."""
+        if name not in self.vars:
+            raise StoreError(f"unknown variable {name}")
+        self.cell(ident)  # must exist
+        self.vars[name] = ident
+
+    def first_garbage(self) -> Optional[int]:
+        """The smallest-id garbage cell, or None when memory is full.
+
+        The deterministic allocator used by both the interpreter and
+        the symbolic engine (sound because store-logic satisfaction is
+        isomorphism-invariant).
+        """
+        garbage = [ident for ident, cell in self._cells.items()
+                   if cell.kind is CellKind.GARBAGE]
+        return min(garbage) if garbage else None
+
+    def record_ids(self) -> List[int]:
+        """Ids of all record cells, ascending."""
+        return sorted(ident for ident, cell in self._cells.items()
+                      if cell.kind is CellKind.RECORD)
+
+    def garbage_ids(self) -> List[int]:
+        """Ids of all garbage cells, ascending."""
+        return sorted(ident for ident, cell in self._cells.items()
+                      if cell.kind is CellKind.GARBAGE)
+
+    def list_of(self, data_var: str, limit: int = 1 << 20) -> List[int]:
+        """The cell ids of a data variable's list, head first.
+
+        Raises StoreError when the chain is broken (undefined next,
+        cycle, or a non-record cell before nil).
+        """
+        result: List[int] = []
+        seen = set()
+        ident = self.var(data_var)
+        while ident != NIL_ID:
+            if ident in seen or len(result) > limit:
+                raise StoreError(f"cycle in list of {data_var}")
+            cell = self.cell(ident)
+            if cell.kind is not CellKind.RECORD:
+                raise StoreError(
+                    f"list of {data_var} runs into a {cell.kind.value} cell")
+            seen.add(ident)
+            result.append(ident)
+            if cell.next is None:
+                if self._variant_has_field(cell):
+                    raise StoreError(
+                        f"list of {data_var}: cell {ident} has an "
+                        f"undefined next field")
+                break  # a variant without pointer field ends the list
+            ident = cell.next
+        return result
+
+    def _variant_has_field(self, cell: Cell) -> bool:
+        record = self.schema.record(cell.type_name or "")
+        return record.field_of(cell.variant or "") is not None
+
+    # ------------------------------------------------------------------
+    # Well-formedness (paper §3)
+    # ------------------------------------------------------------------
+
+    def violations(self) -> List[str]:
+        """All well-formedness violations, empty iff well-formed."""
+        problems: List[str] = []
+        problems.extend(self._check_cells())
+        problems.extend(self._check_vars())
+        owner = self._check_lists(problems)
+        problems.extend(self._check_coverage(owner))
+        return problems
+
+    def is_well_formed(self) -> bool:
+        """True iff the store satisfies all well-formedness rules."""
+        return not self.violations()
+
+    def _check_cells(self) -> List[str]:
+        problems = []
+        nil = self._cells.get(NIL_ID)
+        if nil is None or nil.kind is not CellKind.NIL:
+            problems.append("cell 0 is not the nil cell")
+        for ident, cell in self._cells.items():
+            if cell.kind is CellKind.NIL and ident != NIL_ID:
+                problems.append(f"extra nil cell {ident}")
+            if cell.kind is CellKind.GARBAGE and cell.next is not None:
+                problems.append(f"garbage cell {ident} has an outgoing "
+                                f"pointer")
+        return problems
+
+    def _check_vars(self) -> List[str]:
+        problems = []
+        for name, ident in self.vars.items():
+            if ident == NIL_ID:
+                continue
+            cell = self._cells.get(ident)
+            if cell is None or cell.kind is not CellKind.RECORD:
+                problems.append(
+                    f"variable {name} dangles (points at a non-record "
+                    f"cell {ident})")
+                continue
+            expected = self.schema.var_type(name)
+            if cell.type_name != expected:
+                problems.append(
+                    f"variable {name}: expected type {expected}, cell "
+                    f"{ident} has type {cell.type_name}")
+        return problems
+
+    def _check_lists(self, problems: List[str]) -> Dict[int, str]:
+        """Walk each data variable's list; returns cell -> owner map."""
+        owner: Dict[int, str] = {}
+        for name in self.schema.data_vars:
+            ident = self.vars.get(name, NIL_ID)
+            seen_here = set()
+            while ident != NIL_ID:
+                cell = self._cells.get(ident)
+                if cell is None or cell.kind is not CellKind.RECORD:
+                    problems.append(
+                        f"list of {name} reaches non-record cell {ident}")
+                    break
+                if ident in seen_here:
+                    problems.append(f"list of {name} is cyclic")
+                    break
+                if ident in owner:
+                    problems.append(
+                        f"cell {ident} is shared by lists {owner[ident]} "
+                        f"and {name}")
+                    break
+                seen_here.add(ident)
+                owner[ident] = name
+                record = self.schema.records.get(cell.type_name or "")
+                info = record.variants.get(cell.variant or "") \
+                    if record else None
+                if info is None:
+                    if cell.next is not None:
+                        problems.append(
+                            f"cell {ident}: variant {cell.variant} has no "
+                            f"pointer field but next is set")
+                    break  # terminator variant ends the list
+                if cell.next is None:
+                    problems.append(
+                        f"cell {ident} in list of {name} has an undefined "
+                        f"next field")
+                    break
+                target = self._cells.get(cell.next)
+                if cell.next != NIL_ID and (
+                        target is None
+                        or target.kind is not CellKind.RECORD
+                        or target.type_name != info.target):
+                    problems.append(
+                        f"cell {ident}: next points at an invalid target "
+                        f"{cell.next}")
+                    break
+                ident = cell.next
+        return owner
+
+    def _check_coverage(self, owner: Dict[int, str]) -> List[str]:
+        problems = []
+        for ident in self.record_ids():
+            if ident not in owner:
+                problems.append(
+                    f"record cell {ident} is unclaimed (reachable from no "
+                    f"data variable)")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Equality up to isomorphism-irrelevant details
+    # ------------------------------------------------------------------
+
+    def signature(self) -> Tuple:
+        """A canonical description for comparing stores structurally.
+
+        Two well-formed stores with equal signatures are isomorphic:
+        the signature records, per data variable, the list of
+        (type, variant) labels, the variable bindings expressed as
+        (owning list, index) coordinates, and the garbage-cell count.
+        """
+        coordinates: Dict[int, Tuple[str, int]] = {}
+        lists = []
+        for name in self.schema.data_vars:
+            ids = self.list_of(name)
+            for index, ident in enumerate(ids):
+                coordinates[ident] = (name, index)
+            cells = tuple((self.cell(i).type_name, self.cell(i).variant)
+                          for i in ids)
+            lists.append((name, cells))
+        bindings = []
+        for name in sorted(self.vars):
+            ident = self.vars[name]
+            bindings.append((name, None if ident == NIL_ID
+                             else coordinates.get(ident)))
+        return (tuple(lists), tuple(bindings), len(self.garbage_ids()))

@@ -1,0 +1,120 @@
+"""ASCII rendering of stores and symbol strings.
+
+The paper envisions "a small cartoon of store modifications that
+explains the faulty behavior" (§5); :func:`render_store` draws one
+frame of that cartoon, and :func:`render_symbols` prints the encoded
+string in the paper's ``[label,{vars}]`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.stores.encode import Symbol
+from repro.stores.model import NIL_ID, CellKind, Store
+
+
+def render_symbols(symbols: Sequence[Symbol]) -> str:
+    """The paper's notation, e.g. ``[nil,{p}] [(List:red),{x}] [lim,{}]``."""
+    return " ".join(str(symbol) for symbol in symbols)
+
+
+def render_store(store: Store) -> str:
+    """A multi-line ASCII picture of a store.
+
+    Each data variable's list is drawn on its own line; pointer
+    variables are shown under the cell they reference; garbage cells
+    and dangling bindings are listed at the end.  Works on ill-formed
+    stores too (chains are cut at the first problem), which is what
+    the failure cartoons need.
+    """
+    lines: List[str] = []
+    drawn: set = set()
+    for name in store.schema.data_vars:
+        lines.extend(_render_chain(store, name, drawn))
+    remaining_records = [ident for ident in store.record_ids()
+                         if ident not in drawn]
+    if remaining_records:
+        parts = [f"{_cell_text(store, ident)}#{ident}"
+                 for ident in remaining_records]
+        lines.append("unclaimed: " + "  ".join(parts))
+    garbage = store.garbage_ids()
+    if garbage:
+        lines.append("garbage: " + "  ".join(f"#{g}" for g in garbage))
+    dangling = [name for name, ident in sorted(store.vars.items())
+                if ident != NIL_ID
+                and store.cell(ident).kind is not CellKind.RECORD]
+    if dangling:
+        lines.append("dangling: " + ", ".join(
+            f"{name}->#{store.vars[name]}" for name in dangling))
+    return "\n".join(lines)
+
+
+def _render_chain(store: Store, name: str, drawn: set) -> List[str]:
+    ident = store.var(name)
+    if ident == NIL_ID:
+        return [f"{name}: nil"]
+    cells: List[int] = []
+    broken = ""
+    seen = set()
+    while ident != NIL_ID:
+        cell = store._cells.get(ident)
+        if cell is None or cell.kind is not CellKind.RECORD:
+            broken = " ...broken"
+            break
+        if ident in seen:
+            broken = " ...cycle"
+            break
+        seen.add(ident)
+        cells.append(ident)
+        if cell.next is None:
+            broken = "" if not _has_field(store, cell) else " ...undef"
+            break
+        ident = cell.next
+    drawn.update(cells)
+    top_parts: List[str] = []
+    offsets: Dict[int, int] = {}
+    cursor = len(name) + 2
+    for index, cell_id in enumerate(cells):
+        text = _cell_text(store, cell_id)
+        offsets[cell_id] = cursor
+        top_parts.append(text)
+        cursor += len(text) + 4  # " -> "
+    top = f"{name}: " + " -> ".join(top_parts)
+    if not broken:
+        top += " -> nil" if cells else "nil"
+    else:
+        top += broken
+    lines = [top]
+    pointer_line = _pointer_annotations(store, offsets)
+    if pointer_line:
+        lines.append(pointer_line)
+    return lines
+
+
+def _has_field(store: Store, cell) -> bool:
+    record = store.schema.records.get(cell.type_name or "")
+    if record is None:
+        return False
+    return record.variants.get(cell.variant or "") is not None
+
+
+def _cell_text(store: Store, ident: int) -> str:
+    cell = store.cell(ident)
+    return f"[{cell.variant}]"
+
+
+def _pointer_annotations(store: Store, offsets: Dict[int, int]) -> str:
+    marks: List[tuple] = []
+    for name in store.schema.pointer_vars:
+        ident = store.vars.get(name, NIL_ID)
+        if ident in offsets:
+            marks.append((offsets[ident], name))
+    if not marks:
+        return ""
+    line = [" "] * (max(offset for offset, _ in marks) + 16)
+    for offset, name in sorted(marks):
+        text = f"^{name}"
+        for index, char in enumerate(text):
+            line[offset + index] = char
+    return "".join(line).rstrip()

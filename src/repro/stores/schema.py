@@ -1,0 +1,164 @@
+"""Program schemas: the type-level information a store conforms to.
+
+A :class:`Schema` is produced by the Pascal type checker and consumed
+by every later stage: it fixes the record types with their variants,
+the single outgoing pointer field a variant may carry (linear lists —
+the restriction of the paper's implementation), and the classification
+of program variables into *data* variables (owning disjoint lists) and
+*pointer* variables (free-ranging references).
+
+The declaration order of data variables matters: the string encoding
+lays the lists out in that order (paper §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TypeError_
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """A pointer field of a record variant.
+
+    Attributes:
+        name: the field name (``next`` in all the paper's examples).
+        target: the record type the field points to.
+    """
+
+    name: str
+    target: str
+
+
+@dataclass(frozen=True)
+class RecordType:
+    """A record type with a variant part.
+
+    Attributes:
+        name: the type name (e.g. ``Item``).
+        tag_field: the name of the tag field (e.g. ``tag``).
+        tag_type: the enumeration type of the tag.
+        variants: maps each variant (enum constant) to its pointer
+            field, or to None when the variant has no pointer field.
+    """
+
+    name: str
+    tag_field: str
+    tag_type: str
+    variants: Dict[str, Optional[FieldInfo]]
+
+    def field_of(self, variant: str) -> Optional[FieldInfo]:
+        """The pointer field of ``variant`` (None when absent)."""
+        if variant not in self.variants:
+            raise TypeError_(
+                f"record {self.name} has no variant {variant}")
+        return self.variants[variant]
+
+
+@dataclass
+class Schema:
+    """All type information of one program.
+
+    Attributes:
+        enums: enumeration types, name -> ordered constants.
+        records: record types by name.
+        data_vars: data variables, name -> record type pointed to,
+            in declaration order.
+        pointer_vars: pointer variables, name -> record type.
+    """
+
+    enums: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    records: Dict[str, RecordType] = field(default_factory=dict)
+    data_vars: Dict[str, str] = field(default_factory=dict)
+    pointer_vars: Dict[str, str] = field(default_factory=dict)
+    #: pointer type aliases (``List = ^Item`` gives ``{"List": "Item"}``);
+    #: assertions may name record types through these aliases.
+    pointer_aliases: Dict[str, str] = field(default_factory=dict)
+
+    def resolve_record(self, name: str) -> str:
+        """Resolve a record type name or pointer alias to a record name."""
+        if name in self.records:
+            return name
+        if name in self.pointer_aliases:
+            return self.pointer_aliases[name]
+        raise TypeError_(f"unknown record type or pointer alias {name}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def record(self, name: str) -> RecordType:
+        """The record type called ``name``."""
+        try:
+            return self.records[name]
+        except KeyError:
+            raise TypeError_(f"unknown record type {name}") from None
+
+    def variant_labels(self) -> List[Tuple[str, str]]:
+        """All (record type, variant) pairs, in declaration order.
+
+        These are the record-cell labels of the store alphabet.
+        """
+        labels: List[Tuple[str, str]] = []
+        for record in self.records.values():
+            for variant in record.variants:
+                labels.append((record.name, variant))
+        return labels
+
+    def var_type(self, name: str) -> str:
+        """The record type a (data or pointer) variable points to."""
+        if name in self.data_vars:
+            return self.data_vars[name]
+        if name in self.pointer_vars:
+            return self.pointer_vars[name]
+        raise TypeError_(f"unknown variable {name}")
+
+    def is_data(self, name: str) -> bool:
+        """True for data variables, False for pointer variables."""
+        if name in self.data_vars:
+            return True
+        if name in self.pointer_vars:
+            return False
+        raise TypeError_(f"unknown variable {name}")
+
+    def all_vars(self) -> List[str]:
+        """Data variables (declaration order) then pointer variables."""
+        return list(self.data_vars) + list(self.pointer_vars)
+
+    def variant_exists(self, type_name: str, variant: str) -> bool:
+        """True iff ``variant`` belongs to record type ``type_name``."""
+        record = self.records.get(type_name)
+        return record is not None and variant in record.variants
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal consistency; raise TypeError_ on problems."""
+        for record in self.records.values():
+            if record.tag_type not in self.enums:
+                raise TypeError_(
+                    f"record {record.name}: tag type {record.tag_type} "
+                    f"is not an enumeration")
+            constants = set(self.enums[record.tag_type])
+            for variant, info in record.variants.items():
+                if variant not in constants:
+                    raise TypeError_(
+                        f"record {record.name}: variant {variant} is not "
+                        f"a constant of {record.tag_type}")
+                if info is not None and info.target not in self.records:
+                    raise TypeError_(
+                        f"record {record.name}: field {info.name} points "
+                        f"to unknown type {info.target}")
+        overlap = set(self.data_vars) & set(self.pointer_vars)
+        if overlap:
+            raise TypeError_(
+                f"variables declared both data and pointer: "
+                f"{sorted(overlap)}")
+        for name, target in {**self.data_vars, **self.pointer_vars}.items():
+            if target not in self.records:
+                raise TypeError_(
+                    f"variable {name} points to unknown type {target}")

@@ -1,0 +1,25 @@
+"""The symbolic heart of the verifier (paper §4 and §6).
+
+* :mod:`repro.symbolic.layout` — the store alphabet as M2L tracks: one
+  second-order variable per label and per program variable;
+* :mod:`repro.symbolic.state` — a *symbolic store*: the interpretation
+  of the basic store relations (variable positions, successor, labels,
+  garbage) as M2L formulas over the initial string;
+* :mod:`repro.symbolic.exec` — the transduction engine: each statement
+  transforms the interpretation; conditionals merge branch
+  interpretations under the guard; runtime-error and out-of-memory
+  conditions accumulate as formulas;
+* :mod:`repro.symbolic.wf` — the two well-formedness predicates:
+  ``wf_string`` (canonical initial encodings) and ``wf_graph``
+  (graph-level well-formedness of a transformed interpretation);
+* :mod:`repro.storelogic.translate` — assertion translation against a
+  symbolic store lives with the store logic.
+"""
+
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import SymbolicStore
+from repro.symbolic.exec import ExecOutcome, exec_statements, eval_guard
+from repro.symbolic.wf import wf_graph, wf_string
+
+__all__ = ["ExecOutcome", "SymbolicStore", "TrackLayout", "eval_guard",
+           "exec_statements", "wf_graph", "wf_string"]

@@ -1,0 +1,297 @@
+"""Symbolic execution of loop-free code by predicate transduction.
+
+Implements the paper's §4: "The effect of a statement is to transform
+this collection of predicates."  Each statement maps a
+:class:`SymbolicStore` to a new one whose predicate functions wrap the
+old ones; conditionals execute both branches and merge the resulting
+predicates under the guard value.  Along the way two formulas (over
+the initial store string) accumulate:
+
+* ``error`` — a run-time error has occurred: dereferencing nil, a
+  garbage cell (dangling pointer) or an uninitialised field, writing a
+  field of a non-record cell, or disposing a cell of the wrong type or
+  variant;
+* ``oom`` — allocation found no garbage cell.  Out-of-memory is an
+  *excused* condition: Hoare-triple validity assumes "sufficient
+  available memory cells", so ``~oom`` is exactly the paper's
+  ``alloc(S)`` predicate.
+
+``new`` deterministically converts the lowest-position garbage cell,
+which is sound because store-logic satisfaction is invariant under
+store isomorphism; ``dispose`` relabels the cell as garbage and clears
+its outgoing pointer, leaving any dangling references for the
+well-formedness check to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import VerificationError
+from repro.mso.ast import FALSE, Formula, Var
+from repro.mso.build import FormulaBuilder as F
+from repro.pascal.typed import (FieldLhs, TAnd, TAssertStmt, TAssign,
+                                TDispose, TIf, TNew, TNot, TOr, TPath,
+                                TPtrCompare, TVariantTest, TWhile, VarLhs)
+from repro.stores.encode import record_label
+from repro.symbolic.state import (PosFn, Rel1, Rel2, SymbolicStore,
+                                  fresh_pos, memo1, memo2)
+
+
+@dataclass
+class ExecOutcome:
+    """Result of symbolically executing a loop-free statement list."""
+
+    store: SymbolicStore
+    error: Formula
+    oom: Formula
+
+
+def exec_statements(store: SymbolicStore,
+                    statements: Sequence[object]) -> ExecOutcome:
+    """Execute a loop-free statement sequence symbolically.
+
+    Raises VerificationError on ``while`` loops or cut-point
+    assertions — the verification engine must split those out first.
+    """
+    error: Formula = FALSE
+    oom: Formula = FALSE
+    for statement in statements:
+        outcome = _exec_one(store, statement)
+        store = outcome.store
+        error = F.or_(error, outcome.error)
+        oom = F.or_(oom, outcome.oom)
+    return ExecOutcome(store, error, oom)
+
+
+# ----------------------------------------------------------------------
+# Paths and guards
+# ----------------------------------------------------------------------
+
+def eval_path(store: SymbolicStore,
+              path: TPath) -> Tuple[PosFn, Formula]:
+    """The position function of a path plus its dereference errors.
+
+    The position function is only true at the denoted position when
+    the whole path is defined; the error formula says some traversal
+    step was undefined.
+    """
+    pos = store.var_pos[path.var]
+    error: Formula = FALSE
+    for field_name, _target in path.steps:
+        source = fresh_pos("pp")
+        error = F.or_(error, F.not_(F.ex1(
+            [source],
+            F.and_(pos(source), store.deref_defined(field_name)(source)))))
+        previous = pos
+        deref = store.deref(field_name)
+
+        def step(p: Var, prev: PosFn = previous,
+                 rel: Rel2 = deref) -> Formula:
+            mid = fresh_pos("pm")
+            return F.ex1([mid], F.and_(prev(mid), rel(mid, p)))
+
+        pos = memo1(step)
+    return pos, error
+
+
+def _nil_pos(p: Var) -> Formula:
+    return F.first(p)
+
+
+def eval_rhs(store: SymbolicStore,
+             path: Optional[TPath]) -> Tuple[PosFn, Formula]:
+    """Position of a right-hand side; None stands for ``nil``."""
+    if path is None:
+        return memo1(_nil_pos), FALSE
+    return eval_path(store, path)
+
+
+def eval_guard(store: SymbolicStore,
+               guard: object) -> Tuple[Formula, Formula]:
+    """Evaluate a typed guard: (truth value, evaluation error).
+
+    ``and`` / ``or`` are short-circuit, matching the concrete
+    interpreter — the paper's ``search`` relies on it.
+    """
+    if isinstance(guard, TPtrCompare):
+        left_pos, left_err = eval_rhs(store, guard.left)
+        right_pos, right_err = eval_rhs(store, guard.right)
+        meet = fresh_pos("gc")
+        value = F.ex1([meet], F.and_(left_pos(meet), right_pos(meet)))
+        if guard.negated:
+            value = F.not_(value)
+        return value, F.or_(left_err, right_err)
+    if isinstance(guard, TVariantTest):
+        pos, err = eval_path(store, guard.cell)
+        probe = fresh_pos("gt")
+        err = F.or_(err, F.not_(F.ex1(
+            [probe], F.and_(pos(probe),
+                            store.rec_of_type(guard.type_name)(probe)))))
+        here = fresh_pos("gv")
+        label = record_label(guard.type_name, guard.variant)
+        value = F.ex1([here], F.and_(pos(here),
+                                     store.label_of[label](here)))
+        if guard.negated:
+            value = F.not_(value)
+        return value, err
+    if isinstance(guard, TAnd):
+        left_val, left_err = eval_guard(store, guard.left)
+        right_val, right_err = eval_guard(store, guard.right)
+        return (F.and_(left_val, right_val),
+                F.or_(left_err, F.and_(left_val, right_err)))
+    if isinstance(guard, TOr):
+        left_val, left_err = eval_guard(store, guard.left)
+        right_val, right_err = eval_guard(store, guard.right)
+        return (F.or_(left_val, right_val),
+                F.or_(left_err, F.and_(F.not_(left_val), right_err)))
+    if isinstance(guard, TNot):
+        value, err = eval_guard(store, guard.inner)
+        return F.not_(value), err
+    raise VerificationError(f"unknown guard {guard!r}")
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+def _exec_one(store: SymbolicStore, statement: object) -> ExecOutcome:
+    if isinstance(statement, TAssign):
+        return _exec_assign(store, statement)
+    if isinstance(statement, TNew):
+        return _exec_new(store, statement)
+    if isinstance(statement, TDispose):
+        return _exec_dispose(store, statement)
+    if isinstance(statement, TIf):
+        return _exec_if(store, statement)
+    if isinstance(statement, (TWhile, TAssertStmt)):
+        raise VerificationError(
+            f"{statement} reached the symbolic executor; the engine must "
+            f"split triples at loops and assertions")
+    raise VerificationError(f"unknown statement {statement!r}")
+
+
+def _exec_assign(store: SymbolicStore, statement: TAssign) -> ExecOutcome:
+    rhs_pos, rhs_err = eval_rhs(store, statement.rhs)
+    if isinstance(statement.lhs, VarLhs):
+        new_store = store.updated(var_pos={**store.var_pos,
+                                           statement.lhs.name: rhs_pos})
+        return ExecOutcome(new_store, rhs_err, FALSE)
+    new_store, write_err = _write_field(store, statement.lhs, rhs_pos)
+    return ExecOutcome(new_store, F.or_(rhs_err, write_err), FALSE)
+
+
+def _write_field(store: SymbolicStore, lhs: FieldLhs,
+                 target_pos: PosFn) -> Tuple[SymbolicStore, Formula]:
+    """Set the pointer field of the cell ``lhs.cell`` denotes."""
+    cell_pos, cell_err = eval_path(store, lhs.cell)
+    probe = fresh_pos("wf")
+    error = F.or_(cell_err, F.not_(F.ex1(
+        [probe], F.and_(cell_pos(probe),
+                        store.has_field(lhs.field)(probe)))))
+    target_is_nil = _denotes_nil(target_pos)
+    old_to, old_nil = store.next_to, store.next_nil
+
+    def next_to(p: Var, q: Var) -> Formula:
+        return F.or_(
+            F.and_(F.not_(cell_pos(p)), old_to(p, q)),
+            F.conj([cell_pos(p), target_pos(q), F.not_(F.first(q))]))
+
+    def next_nil(p: Var) -> Formula:
+        return F.or_(F.and_(F.not_(cell_pos(p)), old_nil(p)),
+                     F.and_(cell_pos(p), target_is_nil))
+
+    return (store.updated(next_to=memo2(next_to),
+                          next_nil=memo1(next_nil)), error)
+
+
+def _denotes_nil(pos: PosFn) -> Formula:
+    here = fresh_pos("dn")
+    return F.ex1([here], F.and_(pos(here), F.first(here)))
+
+
+def _exec_new(store: SymbolicStore, statement: TNew) -> ExecOutcome:
+    oom = F.not_(store.some_garbage())
+    alloc_pos = memo1(store.first_garbage)
+    label = record_label(statement.type_name, statement.variant)
+    old_label, old_garb = store.label_of[label], store.garb
+    new_labels = dict(store.label_of)
+    new_labels[label] = memo1(
+        lambda p: F.or_(old_label(p), alloc_pos(p)))
+    relabeled = store.updated(
+        label_of=new_labels,
+        garb=memo1(lambda p: F.and_(old_garb(p), F.not_(alloc_pos(p)))))
+    # The allocated cell's field starts uninitialised: garbage cells
+    # never had next_to/next_nil facts, so nothing to clear.
+    if isinstance(statement.lhs, VarLhs):
+        final = relabeled.updated(
+            var_pos={**relabeled.var_pos, statement.lhs.name: alloc_pos})
+        return ExecOutcome(final, FALSE, oom)
+    final, write_err = _write_field(relabeled, statement.lhs, alloc_pos)
+    return ExecOutcome(final, write_err, oom)
+
+
+def _exec_dispose(store: SymbolicStore,
+                  statement: TDispose) -> ExecOutcome:
+    pos, error = eval_path(store, statement.path)
+    label = record_label(statement.type_name, statement.variant)
+    probe = fresh_pos("dp")
+    error = F.or_(error, F.not_(F.ex1(
+        [probe], F.and_(pos(probe), store.label_of[label](probe)))))
+    old_garb, old_to, old_nil = store.garb, store.next_to, store.next_nil
+    new_labels = {
+        lbl: memo1(lambda p, fn=fn: F.and_(fn(p), F.not_(pos(p))))
+        for lbl, fn in store.label_of.items()}
+    final = store.updated(
+        label_of=new_labels,
+        garb=memo1(lambda p: F.or_(old_garb(p), pos(p))),
+        next_to=memo2(lambda p, q: F.and_(old_to(p, q),
+                                          F.not_(pos(p)))),
+        next_nil=memo1(lambda p: F.and_(old_nil(p), F.not_(pos(p)))))
+    return ExecOutcome(final, error, FALSE)
+
+
+def _exec_if(store: SymbolicStore, statement: TIf) -> ExecOutcome:
+    value, guard_err = eval_guard(store, statement.cond)
+    then_out = exec_statements(store, statement.then_body)
+    else_out = exec_statements(store, statement.else_body)
+    merged = _merge_stores(value, then_out.store, else_out.store)
+    error = F.or_(guard_err,
+                  F.or_(F.and_(value, then_out.error),
+                        F.and_(F.not_(value), else_out.error)))
+    oom = F.or_(F.and_(value, then_out.oom),
+                F.and_(F.not_(value), else_out.oom))
+    return ExecOutcome(merged, error, oom)
+
+
+def _merge_stores(cond: Formula, then_store: SymbolicStore,
+                  else_store: SymbolicStore) -> SymbolicStore:
+    """Pointwise conditional merge; components untouched by both
+    branches are shared unchanged (identity check)."""
+
+    def merge1(a: Rel1, b: Rel1) -> Rel1:
+        if a is b:
+            return a
+        return memo1(lambda p: F.or_(F.and_(cond, a(p)),
+                                     F.and_(F.not_(cond), b(p))))
+
+    def merge2(a: Rel2, b: Rel2) -> Rel2:
+        if a is b:
+            return a
+        return memo2(lambda p, q: F.or_(F.and_(cond, a(p, q)),
+                                        F.and_(F.not_(cond), b(p, q))))
+
+    var_pos: Dict[str, PosFn] = {
+        name: merge1(then_store.var_pos[name], else_store.var_pos[name])
+        for name in then_store.var_pos}
+    label_of = {
+        label: merge1(then_store.label_of[label],
+                      else_store.label_of[label])
+        for label in then_store.label_of}
+    return then_store.updated(
+        var_pos=var_pos,
+        label_of=label_of,
+        garb=merge1(then_store.garb, else_store.garb),
+        next_to=merge2(then_store.next_to, else_store.next_to),
+        next_nil=merge1(then_store.next_nil, else_store.next_nil))

@@ -1,0 +1,316 @@
+"""The two well-formedness predicates (paper §3).
+
+``wf_string`` constrains the *tracks of the initial string* to be a
+canonical encoding of a well-formed store: exactly one label per
+position, nil exactly at position 0, one list segment per data
+variable (in declaration order) each terminated by a ``lim``, garbage
+cells at the end, every variable in exactly one bitmap at the right
+place, and the type discipline along segments.
+
+``wf_graph`` states well-formedness of an *arbitrary interpretation*
+(a :class:`SymbolicStore` after transduction), where lists need not be
+string-consecutive: every variable on nil or a record cell of its
+type, no pointers into garbage, next defined and type-correct, at most
+one incoming pointer per cell, data roots with no incoming pointer and
+mutually distinct, acyclicity, and every record cell owned by some
+data variable's list.  Acyclicity and coverage each use a single
+second-order quantifier:
+
+* acyclic: every nonempty set of positions has an element whose
+  successor lies outside the set;
+* coverage: every set containing all data roots and closed under the
+  successor relation contains every record cell.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mso.ast import FALSE, Formula, Var, VarKind
+from repro.mso.build import FormulaBuilder as F
+from repro.stores.encode import LABEL_GARB, LABEL_LIM, LABEL_NIL
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import SymbolicStore, fresh_pos
+
+
+def _fresh_set(prefix: str) -> Var:
+    return Var.fresh(prefix, VarKind.SECOND)
+
+
+# ----------------------------------------------------------------------
+# wf_string
+# ----------------------------------------------------------------------
+
+def wf_string(layout: TrackLayout) -> Formula:
+    """Canonical-encoding constraint over the layout's tracks."""
+    schema = layout.schema
+    parts: List[Formula] = [
+        _one_label_each(layout),
+        _nil_at_first(layout),
+        _garbage_tail(layout),
+        _lim_count(layout, len(schema.data_vars)),
+        _records_before_last_lim(layout),
+        _nofield_cells_end_segments(layout),
+        _adjacent_type_correct(layout),
+    ]
+    for name in schema.all_vars():
+        parts.append(F.singleton(layout.var_vars[name]))
+    for index, name in enumerate(schema.data_vars):
+        parts.append(_data_var_placement(layout, index, name))
+    for name, target in schema.pointer_vars.items():
+        parts.append(_pointer_var_placement(layout, name, target))
+    return F.conj(parts)
+
+
+def _mem_label(layout: TrackLayout, p: Var, label) -> Formula:
+    return F.mem(p, layout.label_vars[label])
+
+
+def _is_rec(layout: TrackLayout, p: Var) -> Formula:
+    return F.disj(_mem_label(layout, p, label)
+                  for label in layout.record_labels())
+
+
+def _rec_of_type(layout: TrackLayout, p: Var, record_name: str) -> Formula:
+    return F.disj(_mem_label(layout, p, label)
+                  for label in layout.labels_of_type(record_name))
+
+
+def _one_label_each(layout: TrackLayout) -> Formula:
+    p = fresh_pos("ol")
+    options = []
+    for label in layout.labels:
+        others = [F.not_(_mem_label(layout, p, other))
+                  for other in layout.labels if other != label]
+        options.append(F.conj([_mem_label(layout, p, label)] + others))
+    return F.all1([p], F.disj(options))
+
+
+def _nil_at_first(layout: TrackLayout) -> Formula:
+    p = fresh_pos("nf")
+    return F.all1([p], F.iff(_mem_label(layout, p, LABEL_NIL), F.first(p)))
+
+
+def _garbage_tail(layout: TrackLayout) -> Formula:
+    p, q = fresh_pos("gt"), fresh_pos("gt")
+    return F.all1([p, q], F.implies(
+        F.and_(_mem_label(layout, p, LABEL_GARB), F.less(p, q)),
+        _mem_label(layout, q, LABEL_GARB)))
+
+
+def _lims_before(layout: TrackLayout, p: Var, count: int) -> Formula:
+    """Exactly ``count`` lim positions lie strictly before ``p``."""
+    lim_var = layout.label_vars[LABEL_LIM]
+    if count == 0:
+        r = fresh_pos("lb")
+        return F.not_(F.ex1([r], F.and_(F.mem(r, lim_var), F.less(r, p))))
+    marks = [fresh_pos("lb") for _ in range(count)]
+    ordered = [F.less(a, b) for a, b in zip(marks, marks[1:])]
+    ordered.append(F.less(marks[-1], p))
+    lims = [F.mem(m, lim_var) for m in marks]
+    r = fresh_pos("lb")
+    covered = F.all1([r], F.implies(
+        F.and_(F.mem(r, lim_var), F.less(r, p)),
+        F.disj(F.eq_pos(r, m) for m in marks)))
+    return F.ex1(marks, F.conj(lims + ordered + [covered]))
+
+
+def _lim_count(layout: TrackLayout, count: int) -> Formula:
+    """Exactly ``count`` lim symbols in the whole string."""
+    lim_var = layout.label_vars[LABEL_LIM]
+    if count == 0:
+        q = fresh_pos("lc")
+        return F.not_(F.ex1([q], F.mem(q, lim_var)))
+    marks = [fresh_pos("lc") for _ in range(count)]
+    ordered = [F.less(a, b) for a, b in zip(marks, marks[1:])]
+    lims = [F.mem(m, lim_var) for m in marks]
+    q = fresh_pos("lc")
+    covered = F.all1([q], F.implies(
+        F.mem(q, lim_var),
+        F.disj(F.eq_pos(q, m) for m in marks)))
+    return F.ex1(marks, F.conj(lims + ordered + [covered]))
+
+
+def _records_before_last_lim(layout: TrackLayout) -> Formula:
+    """Every record cell is followed by a later lim symbol."""
+    p, q = fresh_pos("rl"), fresh_pos("rl")
+    return F.all1([p], F.implies(
+        _is_rec(layout, p),
+        F.ex1([q], F.and_(F.less(p, q),
+                          _mem_label(layout, q, LABEL_LIM)))))
+
+
+def _nofield_cells_end_segments(layout: TrackLayout) -> Formula:
+    """A record cell without a pointer field ends its segment."""
+    nofield = layout.labels_without_field()
+    if not nofield:
+        return F.conj([])
+    p, q = fresh_pos("nc"), fresh_pos("nc")
+    is_nofield = F.disj(_mem_label(layout, p, label) for label in nofield)
+    return F.all1([p, q], F.implies(
+        F.and_(is_nofield, F.succ(p, q)),
+        _mem_label(layout, q, LABEL_LIM)))
+
+
+def _adjacent_type_correct(layout: TrackLayout) -> Formula:
+    """String adjacency (the initial next relation) respects types."""
+    parts = []
+    p, q = fresh_pos("tc"), fresh_pos("tc")
+    for label in layout.labels_with_field():
+        info = layout.schema.record(label[1]).field_of(label[2])
+        assert info is not None
+        parts.append(F.implies(
+            F.conj([_mem_label(layout, p, label), F.succ(p, q),
+                    _is_rec(layout, q)]),
+            _rec_of_type(layout, q, info.target)))
+    if not parts:
+        return F.conj([])
+    return F.all1([p, q], F.conj(parts))
+
+
+def _boundary(layout: TrackLayout, a: Var, index: int) -> Formula:
+    """``a`` is the delimiter just before segment ``index``: the nil
+    position for segment 0, the (index-1)-th lim otherwise."""
+    if index == 0:
+        return F.first(a)
+    return F.and_(_mem_label(layout, a, LABEL_LIM),
+                  _lims_before(layout, a, index - 1))
+
+
+def _data_var_placement(layout: TrackLayout, index: int,
+                        name: str) -> Formula:
+    record_name = layout.schema.data_vars[name]
+    p = fresh_pos("dv")
+    a, b = fresh_pos("dv"), fresh_pos("dv")
+    empty_segment = F.ex1([a, b], F.conj([
+        _boundary(layout, a, index), F.succ(a, b),
+        _mem_label(layout, b, LABEL_LIM)]))
+    root = fresh_pos("dv")
+    at_root = F.and_(
+        _rec_of_type(layout, p, record_name),
+        F.ex1([root], F.and_(_boundary(layout, root, index),
+                             F.succ(root, p))))
+    return F.all1([p], F.implies(
+        F.mem(p, layout.var_vars[name]),
+        F.or_(F.and_(_mem_label(layout, p, LABEL_NIL), empty_segment),
+              at_root)))
+
+
+def _pointer_var_placement(layout: TrackLayout, name: str,
+                           record_name: str) -> Formula:
+    p = fresh_pos("pv")
+    return F.all1([p], F.implies(
+        F.mem(p, layout.var_vars[name]),
+        F.or_(_mem_label(layout, p, LABEL_NIL),
+              _rec_of_type(layout, p, record_name))))
+
+
+# ----------------------------------------------------------------------
+# wf_graph
+# ----------------------------------------------------------------------
+
+def wf_graph(store: SymbolicStore) -> Formula:
+    """Graph-level well-formedness of an interpretation."""
+    schema = store.schema
+    parts: List[Formula] = []
+    for name in schema.all_vars():
+        parts.append(_var_target_ok(store, name))
+    parts.append(_no_pointers_into_garbage(store))
+    parts.append(_next_defined(store))
+    parts.append(_next_type_correct(store))
+    parts.append(_injective(store))
+    data = list(schema.data_vars)
+    for name in data:
+        parts.append(_root_no_incoming(store, name))
+    for i, left in enumerate(data):
+        for right in data[i + 1:]:
+            parts.append(_roots_distinct(store, left, right))
+    parts.append(_acyclic(store))
+    parts.append(_covered(store))
+    return F.conj(parts)
+
+
+def _var_target_ok(store: SymbolicStore, name: str) -> Formula:
+    record_name = store.schema.var_type(name)
+    p = fresh_pos("vt")
+    return F.all1([p], F.implies(
+        store.var_pos[name](p),
+        F.or_(F.first(p), store.rec_of_type(record_name)(p))))
+
+
+def _no_pointers_into_garbage(store: SymbolicStore) -> Formula:
+    p, q = fresh_pos("pg"), fresh_pos("pg")
+    return F.all1([p, q], F.implies(store.next_to(p, q),
+                                    store.is_record(q)))
+
+
+def _next_defined(store: SymbolicStore) -> Formula:
+    p, q = fresh_pos("nd"), fresh_pos("nd")
+    return F.all1([p], F.implies(
+        store.has_field()(p),
+        F.or_(store.next_nil(p), F.ex1([q], store.next_to(p, q)))))
+
+
+def _next_type_correct(store: SymbolicStore) -> Formula:
+    parts = []
+    p, q = fresh_pos("nt"), fresh_pos("nt")
+    for label in store.layout.labels_with_field():
+        info = store.schema.record(label[1]).field_of(label[2])
+        assert info is not None
+        parts.append(F.implies(
+            F.and_(store.label_of[label](p), store.next_to(p, q)),
+            store.rec_of_type(info.target)(q)))
+    if not parts:
+        return F.conj([])
+    return F.all1([p, q], F.conj(parts))
+
+
+def _injective(store: SymbolicStore) -> Formula:
+    a, b, c = fresh_pos("ij"), fresh_pos("ij"), fresh_pos("ij")
+    return F.all1([a, b, c], F.implies(
+        F.and_(store.next_to(a, c), store.next_to(b, c)),
+        F.eq_pos(a, b)))
+
+
+def _root_no_incoming(store: SymbolicStore, name: str) -> Formula:
+    a, p = fresh_pos("ri"), fresh_pos("ri")
+    return F.all1([a, p], F.implies(
+        F.and_(store.var_pos[name](p), store.next_to(a, p)), FALSE))
+
+
+def _roots_distinct(store: SymbolicStore, left: str,
+                    right: str) -> Formula:
+    p = fresh_pos("rd")
+    return F.all1([p], F.implies(
+        F.and_(store.var_pos[left](p), store.var_pos[right](p)),
+        F.first(p)))
+
+
+def _acyclic(store: SymbolicStore) -> Formula:
+    """Every nonempty position set has an element whose successor lies
+    outside the set — functional graphs satisfy this iff acyclic."""
+    s = _fresh_set("ac")
+    a, b, c = fresh_pos("ac"), fresh_pos("ac"), fresh_pos("ac")
+    has_member = F.ex1([a], F.mem(a, s))
+    escapes = F.ex1([b], F.and_(
+        F.mem(b, s),
+        F.not_(F.ex1([c], F.and_(F.mem(c, s), store.next_to(b, c))))))
+    return F.all2([s], F.implies(has_member, escapes))
+
+
+def _covered(store: SymbolicStore) -> Formula:
+    """Any next-closed set containing all data roots contains every
+    record cell — i.e. no unclaimed memory."""
+    s = _fresh_set("cv")
+    roots = []
+    for name in store.schema.data_vars:
+        r = fresh_pos("cv")
+        roots.append(F.all1([r], F.implies(
+            F.and_(store.var_pos[name](r), store.is_record(r)),
+            F.mem(r, s))))
+    a, b = fresh_pos("cv"), fresh_pos("cv")
+    closed = F.all1([a, b], F.implies(
+        F.and_(F.mem(a, s), store.next_to(a, b)), F.mem(b, s)))
+    c = fresh_pos("cv")
+    all_records = F.all1([c], F.implies(store.is_record(c), F.mem(c, s)))
+    return F.all2([s], F.implies(F.conj(roots + [closed]), all_records))

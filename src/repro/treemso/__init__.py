@@ -1,0 +1,39 @@
+"""Monadic second-order logic on finite binary trees (paper §7).
+
+The paper's implementation handles lists because M2L on *strings* is
+the decidable backbone; §7 answers "Can we include trees?" with: the
+monadic second-order logic of trees is also decidable, the authors ran
+"preliminary experiments with a decision procedure for monadic
+second-order [logic] on trees", and found it "much more
+computationally intensive than the string version".
+
+This package is that preliminary experiment, reproduced: a decision
+procedure for M2L over finite binary trees, built from bottom-up tree
+automata whose transition functions are MTBDDs over variable tracks —
+the exact analogue of the string engine in :mod:`repro.mso` /
+:mod:`repro.automata.symbolic`.  The benchmark
+``benchmarks/test_fig_trees.py`` compares the two engines on analogous
+formulas and confirms the paper's assessment.
+
+* :mod:`repro.treemso.trees` — finite binary trees with per-node track
+  assignments, plus enumeration helpers for the test oracle;
+* :mod:`repro.treemso.ast` — tree-logic formulas: membership and set
+  atoms as on strings, with the positional atoms replaced by
+  ``root``, left/right child, and ancestor;
+* :mod:`repro.treemso.automata` — deterministic bottom-up tree
+  automata with MTBDD transitions: product, complement, projection,
+  determinisation, minimisation, emptiness and smallest-witness;
+* :mod:`repro.treemso.compile` — formula -> minimal tree automaton,
+  with the same eager first-order restriction as the string compiler;
+* :mod:`repro.treemso.interp` — brute-force evaluation (test oracle).
+"""
+
+from repro.treemso.ast import (Anc, Child0, Child1, EqF, Root, TAll1,
+                               TAll2, TEx1, TEx2, TFALSE, TTRUE)
+from repro.treemso.compile import TreeCompiler
+from repro.treemso.trees import Tree, all_trees
+from repro.treemso.interp import tree_evaluate
+
+__all__ = ["Anc", "Child0", "Child1", "EqF", "Root", "TAll1", "TAll2",
+           "TEx1", "TEx2", "TFALSE", "TTRUE", "Tree", "TreeCompiler",
+           "all_trees", "tree_evaluate"]

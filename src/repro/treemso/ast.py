@@ -1,0 +1,273 @@
+"""Abstract syntax of M2L on finite binary trees.
+
+First-order variables denote tree nodes, second-order variables node
+sets (both reuse :class:`repro.mso.ast.Var`).  The set atoms are the
+same as on strings; the positional atoms are adapted to trees:
+
+* ``Root(x)`` — x is the root;
+* ``Child0(x, y)`` / ``Child1(x, y)`` — y is x's left / right child;
+* ``Anc(x, y)`` — x is a proper ancestor of y;
+* ``EqF(x, y)`` — node equality.
+
+The string logic's ``Less`` (linear order) has no tree counterpart;
+``Anc`` is the partial order that replaces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.mso.ast import Var, VarKind
+
+
+@dataclass(frozen=True, eq=False)
+class TFormula:
+    """Base class of tree-logic formulas."""
+
+    def children(self) -> Tuple["TFormula", ...]:
+        return ()
+
+    def size(self) -> int:
+        """Number of distinct nodes (DAG-aware)."""
+        count = 0
+        for _ in self.iter_nodes():
+            count += 1
+        return count
+
+    def iter_nodes(self):
+        seen: set = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(node.children())
+
+    def free_vars(self) -> frozenset:
+        """Free variables (fresh-binder discipline, as on strings)."""
+        used: set = set()
+        bound: set = set()
+        for node in self.iter_nodes():
+            if isinstance(node, TAtom):
+                used.update(node.vars)
+            elif isinstance(node, _TQuant):
+                bound.add(node.var)
+        return frozenset(used - bound)
+
+
+@dataclass(frozen=True, eq=False)
+class _TConst(TFormula):
+    value: bool
+
+
+TTRUE = _TConst(True)
+TFALSE = _TConst(False)
+
+
+@dataclass(frozen=True, eq=False)
+class TAtom(TFormula):
+    """Base class of atoms."""
+
+    @property
+    def vars(self) -> Tuple[Var, ...]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, eq=False)
+class TMem(TAtom):
+    """``pos ∈ pset``."""
+
+    pos: Var
+    pset: Var
+
+    @property
+    def vars(self):
+        return (self.pos, self.pset)
+
+
+@dataclass(frozen=True, eq=False)
+class TSub(TAtom):
+    """``left ⊆ right``."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class TEqS(TAtom):
+    """Set equality."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class TEmptyS(TAtom):
+    """``pset = ∅``."""
+
+    pset: Var
+
+    @property
+    def vars(self):
+        return (self.pset,)
+
+
+@dataclass(frozen=True, eq=False)
+class TSingletonS(TAtom):
+    """``|pset| = 1`` — the first-order encoding constraint."""
+
+    pset: Var
+
+    @property
+    def vars(self):
+        return (self.pset,)
+
+
+@dataclass(frozen=True, eq=False)
+class EqF(TAtom):
+    """Node equality."""
+
+    left: Var
+    right: Var
+
+    @property
+    def vars(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class Root(TAtom):
+    """``pos`` is the root node."""
+
+    pos: Var
+
+    @property
+    def vars(self):
+        return (self.pos,)
+
+
+@dataclass(frozen=True, eq=False)
+class Child0(TAtom):
+    """``child`` is the left child of ``parent``."""
+
+    parent: Var
+    child: Var
+
+    @property
+    def vars(self):
+        return (self.parent, self.child)
+
+
+@dataclass(frozen=True, eq=False)
+class Child1(TAtom):
+    """``child`` is the right child of ``parent``."""
+
+    parent: Var
+    child: Var
+
+    @property
+    def vars(self):
+        return (self.parent, self.child)
+
+
+@dataclass(frozen=True, eq=False)
+class Anc(TAtom):
+    """``above`` is a proper ancestor of ``below``."""
+
+    above: Var
+    below: Var
+
+    @property
+    def vars(self):
+        return (self.above, self.below)
+
+
+@dataclass(frozen=True, eq=False)
+class TNot(TFormula):
+    inner: TFormula
+
+    def children(self):
+        return (self.inner,)
+
+
+@dataclass(frozen=True, eq=False)
+class TAnd(TFormula):
+    left: TFormula
+    right: TFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class TOr(TFormula):
+    left: TFormula
+    right: TFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class TImplies(TFormula):
+    left: TFormula
+    right: TFormula
+
+    def children(self):
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True, eq=False)
+class _TQuant(TFormula):
+    var: Var
+    body: TFormula
+
+    def children(self):
+        return (self.body,)
+
+
+@dataclass(frozen=True, eq=False)
+class TEx1(_TQuant):
+    """Some node satisfies the body."""
+
+    def __post_init__(self):
+        if self.var.kind is not VarKind.FIRST:
+            raise ValueError("TEx1 needs a first-order variable")
+
+
+@dataclass(frozen=True, eq=False)
+class TAll1(_TQuant):
+    """All nodes satisfy the body."""
+
+    def __post_init__(self):
+        if self.var.kind is not VarKind.FIRST:
+            raise ValueError("TAll1 needs a first-order variable")
+
+
+@dataclass(frozen=True, eq=False)
+class TEx2(_TQuant):
+    """Some node set satisfies the body."""
+
+    def __post_init__(self):
+        if self.var.kind is not VarKind.SECOND:
+            raise ValueError("TEx2 needs a second-order variable")
+
+
+@dataclass(frozen=True, eq=False)
+class TAll2(_TQuant):
+    """All node sets satisfy the body."""
+
+    def __post_init__(self):
+        if self.var.kind is not VarKind.SECOND:
+            raise ValueError("TAll2 needs a second-order variable")

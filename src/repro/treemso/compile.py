@@ -1,0 +1,304 @@
+"""Compilation of tree-logic formulas into tree automata.
+
+The same reduction as :class:`repro.mso.compile.Compiler`, one level
+up: atoms map to small hand-written bottom-up automata, connectives to
+products, second-order quantifiers to projection + determinisation,
+first-order quantifiers to the singleton-restricted projection — with
+the eager first-order restriction applied at every atom, which is as
+essential here as on strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bdd.mtbdd import Mtbdd
+from repro.errors import TranslationError
+from repro.mso.ast import Var, VarKind
+from repro.mso.compile import CompilationStats
+from repro.automata.symbolic import delta_from_function
+from repro.treemso import ast
+from repro.treemso.automata import TreeDfa
+
+
+class TreeCompiler:
+    """Compiles tree-logic formulas to minimal tree automata."""
+
+    def __init__(self, mgr: Optional[Mtbdd] = None,
+                 minimize_during: bool = True) -> None:
+        self.mgr = mgr if mgr is not None else Mtbdd()
+        self.minimize_during = minimize_during
+        self.stats = CompilationStats()
+        self._tracks: Dict[Var, int] = {}
+        self._memo: Dict[int, TreeDfa] = {}
+        self._memo_keys: Dict[int, ast.TFormula] = {}
+
+    # ------------------------------------------------------------------
+
+    def track(self, var: Var) -> int:
+        """The track of ``var``, allocated on first use."""
+        found = self._tracks.get(var)
+        if found is None:
+            found = len(self._tracks)
+            self._tracks[var] = found
+        return found
+
+    def tracks(self) -> Dict[Var, int]:
+        """A copy of the variable-to-track map."""
+        return dict(self._tracks)
+
+    def compile(self, formula: ast.TFormula) -> TreeDfa:
+        """Compile to a minimal automaton (free first-order variables
+        singleton-restricted)."""
+        result = self._compile(formula)
+        for var in sorted(formula.free_vars(), key=lambda v: v.name):
+            if var.kind is VarKind.FIRST:
+                result = self._intersect(
+                    result, self._aut_singleton(self.track(var)))
+        return result.minimize()
+
+    def is_valid(self, formula: ast.TFormula) -> bool:
+        """Validity over all finite binary trees (including the empty
+        tree when no free first-order variable needs a node)."""
+        return self.compile(ast.TNot(formula)).is_empty()
+
+    # ------------------------------------------------------------------
+
+    def _compile(self, formula: ast.TFormula) -> TreeDfa:
+        cached = self._memo.get(id(formula))
+        if cached is not None:
+            return cached
+        result = self._compile_uncached(formula)
+        if self.minimize_during:
+            self.stats.minimizations += 1
+            result = result.minimize()
+        else:
+            result = result.trim()
+        self._record(result)
+        self._memo[id(formula)] = result
+        self._memo_keys[id(formula)] = formula
+        self.stats.compiled_nodes += 1
+        return result
+
+    def _compile_uncached(self, formula: ast.TFormula) -> TreeDfa:
+        if formula is ast.TTRUE:
+            return self._aut_const(True)
+        if formula is ast.TFALSE:
+            return self._aut_const(False)
+        if isinstance(formula, ast.TAtom):
+            result = self._compile_atom(formula)
+            for var in formula.vars:
+                if var.kind is VarKind.FIRST:
+                    result = result.product(
+                        self._aut_singleton(self.track(var)),
+                        lambda a, b: a and b)
+            return result
+        if isinstance(formula, ast.TNot):
+            return self._compile(formula.inner).complement()
+        if isinstance(formula, ast.TAnd):
+            return self._intersect(self._compile(formula.left),
+                                   self._compile(formula.right))
+        if isinstance(formula, ast.TOr):
+            return self._product(self._compile(formula.left),
+                                 self._compile(formula.right),
+                                 lambda a, b: a or b)
+        if isinstance(formula, ast.TImplies):
+            return self._product(self._compile(formula.left),
+                                 self._compile(formula.right),
+                                 lambda a, b: (not a) or b)
+        if isinstance(formula, ast.TEx2):
+            return self._project(self._compile(formula.body),
+                                 self.track(formula.var))
+        if isinstance(formula, ast.TAll2):
+            inner = self._compile(formula.body).complement()
+            return self._project(inner,
+                                 self.track(formula.var)).complement()
+        if isinstance(formula, ast.TEx1):
+            track = self.track(formula.var)
+            inner = self._intersect(self._compile(formula.body),
+                                    self._aut_singleton(track))
+            return self._project(inner, track)
+        if isinstance(formula, ast.TAll1):
+            track = self.track(formula.var)
+            negated = self._compile(formula.body).complement()
+            witness = self._intersect(negated,
+                                      self._aut_singleton(track))
+            return self._project(witness, track).complement()
+        raise TranslationError(f"cannot compile tree formula "
+                               f"{formula!r}")
+
+    # ------------------------------------------------------------------
+    # Operation wrappers
+    # ------------------------------------------------------------------
+
+    def _record(self, dfa: TreeDfa) -> TreeDfa:
+        if dfa.num_states > self.stats.max_states:
+            self.stats.max_states = dfa.num_states
+        nodes = dfa.bdd_node_count()
+        if nodes > self.stats.max_nodes:
+            self.stats.max_nodes = nodes
+        return dfa
+
+    def _product(self, left: TreeDfa, right: TreeDfa,
+                 accept: Callable[[bool, bool], bool]) -> TreeDfa:
+        self.stats.products += 1
+        return self._record(left.product(right, accept))
+
+    def _intersect(self, left: TreeDfa, right: TreeDfa) -> TreeDfa:
+        return self._product(left, right, lambda a, b: a and b)
+
+    def _project(self, dfa: TreeDfa, track: int) -> TreeDfa:
+        self.stats.projections += 1
+        return self._record(dfa.project(track).determinize())
+
+    # ------------------------------------------------------------------
+    # Base automata
+    # ------------------------------------------------------------------
+
+    def _dta(self, num_states: int, accepting, tracks,
+             fn: Callable[[int, int, Dict[int, bool]], int],
+             empty: int = 0) -> TreeDfa:
+        delta = {}
+        for ql in range(num_states):
+            for qr in range(num_states):
+                delta[(ql, qr)] = delta_from_function(
+                    self.mgr, tracks,
+                    lambda bits, l=ql, r=qr: fn(l, r, bits))
+        return TreeDfa(self.mgr, num_states, empty,
+                       frozenset(accepting), delta)
+
+    def _aut_const(self, value: bool) -> TreeDfa:
+        return self._dta(1, [0] if value else [], [],
+                         lambda l, r, bits: 0)
+
+    def _compile_atom(self, formula: ast.TAtom) -> TreeDfa:
+        if isinstance(formula, ast.TMem):
+            return self._aut_sub(self.track(formula.pos),
+                                 self.track(formula.pset))
+        if isinstance(formula, ast.TSub):
+            return self._aut_sub(self.track(formula.left),
+                                 self.track(formula.right))
+        if isinstance(formula, ast.TEqS):
+            return self._aut_eqs(self.track(formula.left),
+                                 self.track(formula.right))
+        if isinstance(formula, ast.TEmptyS):
+            return self._aut_empty_set(self.track(formula.pset))
+        if isinstance(formula, ast.TSingletonS):
+            return self._aut_singleton(self.track(formula.pset))
+        if isinstance(formula, ast.EqF):
+            return self._aut_eqf(self.track(formula.left),
+                                 self.track(formula.right))
+        if isinstance(formula, ast.Root):
+            return self._aut_root(self.track(formula.pos))
+        if isinstance(formula, ast.Child0):
+            return self._aut_child(self.track(formula.parent),
+                                   self.track(formula.child), left=True)
+        if isinstance(formula, ast.Child1):
+            return self._aut_child(self.track(formula.parent),
+                                   self.track(formula.child), left=False)
+        if isinstance(formula, ast.Anc):
+            return self._aut_anc(self.track(formula.above),
+                                 self.track(formula.below))
+        raise TranslationError(f"cannot compile tree atom {formula!r}")
+
+    def _aut_sub(self, t_left: int, t_right: int) -> TreeDfa:
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            if l or r or (bits[t_left] and not bits[t_right]):
+                return 1
+            return 0
+        return self._dta(2, [0], [t_left, t_right], fn)
+
+    def _aut_eqs(self, t_left: int, t_right: int) -> TreeDfa:
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            if l or r or (bits[t_left] != bits[t_right]):
+                return 1
+            return 0
+        return self._dta(2, [0], [t_left, t_right], fn)
+
+    def _aut_empty_set(self, track: int) -> TreeDfa:
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            return 1 if (l or r or bits[track]) else 0
+        return self._dta(2, [0], [track], fn)
+
+    def _aut_singleton(self, track: int) -> TreeDfa:
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            return min(2, l + r + (1 if bits[track] else 0))
+        return self._dta(3, [1], [track], fn)
+
+    def _aut_eqf(self, t_left: int, t_right: int) -> TreeDfa:
+        # 0 none, 1 matched pair seen, 2 sink
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            if l == 2 or r == 2 or (l == 1 and r == 1):
+                return 2
+            below = max(l, r)
+            bx, by = bits[t_left], bits[t_right]
+            if bx and by:
+                return 1 if below == 0 else 2
+            if bx or by:
+                return 2
+            return below
+        return self._dta(3, [1], [t_left, t_right], fn)
+
+    def _aut_root(self, track: int) -> TreeDfa:
+        # 0 none, 1 bit at subtree root, 2 bit strictly inside, 3 sink
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            if l == 3 or r == 3:
+                return 3
+            inside = sum(1 for child in (l, r) if child in (1, 2))
+            if bits[track]:
+                return 1 if (l == 0 and r == 0) else 3
+            if inside == 0:
+                return 0
+            if inside == 1:
+                return 2
+            return 3
+        return self._dta(4, [1], [track], fn)
+
+    def _aut_child(self, t_parent: int, t_child: int,
+                   left: bool) -> TreeDfa:
+        # 0 none, 1 child-bit at subtree root, 2 relation done, 3 sink
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            if l == 3 or r == 3:
+                return 3
+            bp, bc = bits[t_parent], bits[t_child]
+            if bp and bc:
+                return 3
+            if bp:
+                good = (l == 1 and r == 0) if left \
+                    else (r == 1 and l == 0)
+                return 2 if good else 3
+            if bc:
+                return 1 if (l == 0 and r == 0) else 3
+            if l == 0 and r == 0:
+                return 0
+            if (l, r) in ((2, 0), (0, 2)):
+                return 2
+            return 3  # a dangling child-bit or two markers
+        return self._dta(4, [2], [t_parent, t_child], fn)
+
+    def _aut_anc(self, t_above: int, t_below: int) -> TreeDfa:
+        # 0 none, 1 above-bit inside, 2 below-bit inside, 3 done, 4 sink
+        def fn(l: int, r: int, bits: Dict[int, bool]) -> int:
+            if l == 4 or r == 4:
+                return 4
+            ba, bb = bits[t_above], bits[t_below]
+            if ba and bb:
+                return 4
+            if ba:
+                if (l, r) in ((2, 0), (0, 2)):
+                    return 3
+                if l == 0 and r == 0:
+                    return 1
+                return 4
+            if bb:
+                return 2 if (l == 0 and r == 0) else 4
+            if l == 0 and r == 0:
+                return 0
+            if (l, r) in ((1, 0), (0, 1)):
+                return 1
+            if (l, r) in ((2, 0), (0, 2)):
+                return 2
+            if (l, r) in ((3, 0), (0, 3)):
+                return 3
+            return 4
+        return self._dta(5, [3], [t_above, t_below], fn)

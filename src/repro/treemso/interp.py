@@ -1,0 +1,120 @@
+"""Brute-force evaluation of tree-logic formulas (the test oracle).
+
+Implements the semantics by definition over a concrete
+:class:`Tree`: first-order variables take node objects, second-order
+variables frozensets of nodes, quantifiers enumerate nodes and the
+``2^n`` node subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Optional, Union
+
+from repro.errors import TranslationError
+from repro.mso.ast import Var
+from repro.treemso import ast
+from repro.treemso.trees import Tree
+
+Value = Union[Tree, FrozenSet[Tree]]
+
+
+def tree_evaluate(formula: ast.TFormula, tree: Optional[Tree],
+                  env: Dict[Var, Value]) -> bool:
+    """Satisfaction of ``formula`` on ``tree`` (None = empty tree)."""
+    nodes = tree.nodes() if tree is not None else []
+    return _eval(formula, tree, nodes, env)
+
+
+def _eval(formula, tree, nodes, env) -> bool:
+    if formula is ast.TTRUE:
+        return True
+    if formula is ast.TFALSE:
+        return False
+    if isinstance(formula, ast.TMem):
+        return env[formula.pos] in env[formula.pset]
+    if isinstance(formula, ast.TSub):
+        return env[formula.left] <= env[formula.right]
+    if isinstance(formula, ast.TEqS):
+        return env[formula.left] == env[formula.right]
+    if isinstance(formula, ast.TEmptyS):
+        return not env[formula.pset]
+    if isinstance(formula, ast.TSingletonS):
+        return len(env[formula.pset]) == 1
+    if isinstance(formula, ast.EqF):
+        return env[formula.left] is env[formula.right]
+    if isinstance(formula, ast.Root):
+        return env[formula.pos] is tree
+    if isinstance(formula, ast.Child0):
+        return env[formula.parent].left is env[formula.child]
+    if isinstance(formula, ast.Child1):
+        return env[formula.parent].right is env[formula.child]
+    if isinstance(formula, ast.Anc):
+        return _is_ancestor(env[formula.above], env[formula.below])
+    if isinstance(formula, ast.TNot):
+        return not _eval(formula.inner, tree, nodes, env)
+    if isinstance(formula, ast.TAnd):
+        return _eval(formula.left, tree, nodes, env) and \
+            _eval(formula.right, tree, nodes, env)
+    if isinstance(formula, ast.TOr):
+        return _eval(formula.left, tree, nodes, env) or \
+            _eval(formula.right, tree, nodes, env)
+    if isinstance(formula, ast.TImplies):
+        return (not _eval(formula.left, tree, nodes, env)) or \
+            _eval(formula.right, tree, nodes, env)
+    if isinstance(formula, ast.TEx1):
+        return any(_eval(formula.body, tree, nodes,
+                         {**env, formula.var: node})
+                   for node in nodes)
+    if isinstance(formula, ast.TAll1):
+        return all(_eval(formula.body, tree, nodes,
+                         {**env, formula.var: node})
+                   for node in nodes)
+    if isinstance(formula, (ast.TEx2, ast.TAll2)):
+        universal = isinstance(formula, ast.TAll2)
+        subsets = _subsets(nodes)
+        results = (_eval(formula.body, tree, nodes,
+                         {**env, formula.var: subset})
+                   for subset in subsets)
+        return all(results) if universal else any(results)
+    raise TranslationError(f"unknown tree formula {formula!r}")
+
+
+def _is_ancestor(above: Tree, below: Tree) -> bool:
+    return above is not below and _in_subtree(above, below)
+
+
+def _in_subtree(root: Tree, target: Tree) -> bool:
+    for child in (root.left, root.right):
+        if child is None:
+            continue
+        if child is target or _in_subtree(child, target):
+            return True
+    return False
+
+
+def tree_with_assignment(tree: Optional[Tree],
+                         env: Dict[Var, Value],
+                         tracks: Dict[Var, int]) -> Optional[Tree]:
+    """Bake an assignment into track bits for automaton runs."""
+    if tree is None:
+        return None
+    extra: Dict[Tree, Dict[int, bool]] = {}
+    for node in tree.nodes():
+        bits: Dict[int, bool] = {}
+        for var, track in tracks.items():
+            value = env.get(var)
+            if value is None:
+                bits[track] = False
+            elif var.kind.value == "first":
+                bits[track] = value is node
+            else:
+                bits[track] = node in value  # type: ignore[operator]
+        extra[node] = bits
+    return tree.with_bits(extra)
+
+
+def _subsets(nodes):
+    for size in range(len(nodes) + 1):
+        for combo in itertools.combinations(nodes, size):
+            yield frozenset(combo)

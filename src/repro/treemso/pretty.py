@@ -1,0 +1,66 @@
+"""Pretty-printing of tree-logic formulas."""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.treemso import ast
+
+_PREC_IMPLIES = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_UNARY = 4
+
+
+def pretty_tree_formula(formula: ast.TFormula) -> str:
+    """Render a tree-logic formula."""
+    return _render(formula, 0)
+
+
+def _parens(text: str, prec: int, context: int) -> str:
+    return f"({text})" if prec < context else text
+
+
+def _render(node: ast.TFormula, context: int) -> str:
+    if node is ast.TTRUE:
+        return "true"
+    if node is ast.TFALSE:
+        return "false"
+    if isinstance(node, ast.TMem):
+        return f"{node.pos!r} in {node.pset!r}"
+    if isinstance(node, ast.TSub):
+        return f"{node.left!r} sub {node.right!r}"
+    if isinstance(node, (ast.TEqS, ast.EqF)):
+        return f"{node.left!r} = {node.right!r}"
+    if isinstance(node, ast.TEmptyS):
+        return f"empty({node.pset!r})"
+    if isinstance(node, ast.TSingletonS):
+        return f"singleton({node.pset!r})"
+    if isinstance(node, ast.Root):
+        return f"root({node.pos!r})"
+    if isinstance(node, ast.Child0):
+        return f"{node.child!r} = left({node.parent!r})"
+    if isinstance(node, ast.Child1):
+        return f"{node.child!r} = right({node.parent!r})"
+    if isinstance(node, ast.Anc):
+        return f"{node.above!r} < {node.below!r}"
+    if isinstance(node, ast.TNot):
+        return _parens(f"~{_render(node.inner, _PREC_UNARY)}",
+                       _PREC_UNARY, context)
+    if isinstance(node, ast.TAnd):
+        text = (f"{_render(node.left, _PREC_AND)} & "
+                f"{_render(node.right, _PREC_AND)}")
+        return _parens(text, _PREC_AND, context + 1)
+    if isinstance(node, ast.TOr):
+        text = (f"{_render(node.left, _PREC_OR)} | "
+                f"{_render(node.right, _PREC_OR)}")
+        return _parens(text, _PREC_OR, context + 1)
+    if isinstance(node, ast.TImplies):
+        text = (f"{_render(node.left, _PREC_IMPLIES + 1)} => "
+                f"{_render(node.right, _PREC_IMPLIES)}")
+        return _parens(text, _PREC_IMPLIES, context + 1)
+    if isinstance(node, (ast.TEx1, ast.TEx2, ast.TAll1, ast.TAll2)):
+        word = {ast.TEx1: "ex1", ast.TEx2: "ex2",
+                ast.TAll1: "all1", ast.TAll2: "all2"}[type(node)]
+        text = f"{word} {node.var!r}: {_render(node.body, 0)}"
+        return _parens(text, 0, context)
+    raise TranslationError(f"unknown tree formula {node!r}")

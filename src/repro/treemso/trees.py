@@ -1,0 +1,109 @@
+"""Finite binary trees carrying track assignments.
+
+A model of the tree logic is a finite binary tree; each node carries
+one bit per variable track (first-order variables are encoded as
+singleton node sets, as on strings).  Nodes may have a left child, a
+right child, both, or neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(eq=False)
+class Tree:
+    """One tree node (and thereby the subtree below it).
+
+    ``bits`` maps track indices to booleans; missing tracks read as
+    False.  Nodes compare by identity (so they can live in sets — a
+    second-order value is a frozenset of nodes).
+    """
+
+    bits: Dict[int, bool] = field(default_factory=dict)
+    left: Optional["Tree"] = None
+    right: Optional["Tree"] = None
+
+    def nodes(self) -> List["Tree"]:
+        """All nodes, in depth-first pre-order."""
+        result = [self]
+        if self.left is not None:
+            result.extend(self.left.nodes())
+        if self.right is not None:
+            result.extend(self.right.nodes())
+        return result
+
+    def size(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes())
+
+    def bit(self, track: int) -> bool:
+        """This node's bit for a track."""
+        return self.bits.get(track, False)
+
+    def with_bits(self, assignment: Dict["Tree", Dict[int, bool]]
+                  ) -> "Tree":
+        """A copy whose nodes carry extra bits from ``assignment``
+        (keyed by the original node objects)."""
+        bits = dict(self.bits)
+        bits.update(assignment.get(self, {}))
+        return Tree(bits,
+                    self.left.with_bits(assignment)
+                    if self.left else None,
+                    self.right.with_bits(assignment)
+                    if self.right else None)
+
+    def render(self, names: Optional[Dict[int, str]] = None) -> str:
+        """A small ASCII rendering, one node per line."""
+        lines: List[str] = []
+
+        def go(node: Optional["Tree"], prefix: str, tag: str) -> None:
+            if node is None:
+                return
+            on = [str((names or {}).get(t, t))
+                  for t, v in sorted(node.bits.items()) if v]
+            lines.append(f"{prefix}{tag}[{','.join(on)}]")
+            go(node.left, prefix + "  ", "L:")
+            go(node.right, prefix + "  ", "R:")
+
+        go(self, "", "")
+        return "\n".join(lines)
+
+
+def all_shapes(size: int) -> Iterator[Optional[Tree]]:
+    """All binary tree shapes with exactly ``size`` nodes (no bits)."""
+    if size == 0:
+        yield None
+        return
+    for left_size in range(size):
+        right_size = size - 1 - left_size
+        for left in all_shapes(left_size):
+            for right in all_shapes(right_size):
+                yield Tree({}, _clone(left), _clone(right))
+
+
+def _clone(tree: Optional[Tree]) -> Optional[Tree]:
+    if tree is None:
+        return None
+    return Tree(dict(tree.bits), _clone(tree.left), _clone(tree.right))
+
+
+def all_trees(max_size: int,
+              tracks: Tuple[int, ...]) -> Iterator[Tree]:
+    """All trees up to ``max_size`` nodes with all bit labelings of the
+    given tracks.  Exponential; for the brute-force oracle only."""
+    import itertools
+    for size in range(1, max_size + 1):
+        for shape in all_shapes(size):
+            assert shape is not None
+            nodes = shape.nodes()
+            for bits in itertools.product(
+                    [False, True], repeat=len(nodes) * len(tracks)):
+                tree = _clone(shape)
+                assert tree is not None
+                flat = iter(bits)
+                for node in tree.nodes():
+                    for track in tracks:
+                        node.bits[track] = next(flat)
+                yield tree

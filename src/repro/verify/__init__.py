@@ -1,0 +1,21 @@
+"""The Hoare-triple verifier (paper §4–§5).
+
+:class:`Verifier` splits an annotated program into loop-free subgoals
+(the three classic obligations per loop, plus one per cut-point
+assertion), decides each one completely via the M2L pipeline, and
+extracts shortest-store counterexamples for failures.
+"""
+
+from repro.verify.engine import (Subgoal, SubgoalResult,
+                                 VerificationResult, Verifier,
+                                 verify_program, verify_source)
+from repro.verify.counterexample import Counterexample
+from repro.verify.report import format_result, format_table_row
+from repro.verify.wp import (WpResult, triple_is_valid_by_inclusion,
+                             wp_automaton)
+
+__all__ = ["Counterexample", "Subgoal", "SubgoalResult",
+           "VerificationResult", "Verifier", "WpResult",
+           "format_result", "format_table_row",
+           "triple_is_valid_by_inclusion", "verify_program",
+           "verify_source", "wp_automaton"]

@@ -1,0 +1,74 @@
+"""Counterexamples: shortest failing initial stores, explained.
+
+When a subgoal fails, the difference language ``L(assume) \\
+L(obligation)`` is non-empty and regular; its shortest string decodes
+to a concrete store (paper §5).  This module packages that store with
+a simulation of the offending statements — the "small cartoon of store
+modifications that explains the faulty behavior".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.stores.encode import Symbol
+from repro.stores.model import Store
+from repro.stores.render import render_store, render_symbols
+from repro.exec.interpreter import Trace
+
+
+@dataclass
+class Counterexample:
+    """A failing initial store for one subgoal."""
+
+    #: Which subgoal failed (e.g. "postcondition", "invariant ...").
+    description: str
+    #: The encoded store string, in the paper's notation.
+    symbols: List[Symbol]
+    #: The decoded concrete store.
+    store: Store
+    #: Simulation of the subgoal's statements from the store (None
+    #: when simulation was disabled).
+    trace: Optional[Trace]
+    #: What went wrong at the end (failed checks, wf violations, or
+    #: the runtime error hit during simulation).
+    explanation: str
+
+    def render(self) -> str:
+        """Human-readable account of the failure."""
+        lines = [
+            f"subgoal:  {self.description}",
+            f"string:   {render_symbols(self.symbols)}",
+            "initial store:",
+            _indent(render_store(self.store)),
+        ]
+        if self.trace is not None and self.trace.steps:
+            lines.append("simulation:")
+            lines.append(_indent(self.trace.render()))
+        lines.append(f"explanation: {self.explanation}")
+        return "\n".join(lines)
+
+
+def _indent(text: str) -> str:
+    return "\n".join("    " + line for line in text.splitlines())
+
+
+def explain_failure(final_store: Optional[Store],
+                    failed_checks: Sequence[str],
+                    runtime_error: Optional[str]) -> str:
+    """Compose the explanation string for a counterexample."""
+    if runtime_error is not None:
+        return f"runtime error: {runtime_error}"
+    parts: List[str] = []
+    if final_store is not None:
+        violations = final_store.violations()
+        if violations:
+            parts.append("final store is not well-formed: "
+                         + "; ".join(violations))
+    if failed_checks:
+        parts.append("failed obligations: " + "; ".join(failed_checks))
+    if not parts:
+        parts.append("obligation fails (symbolic check); the concrete "
+                     "simulation could not localise it further")
+    return " | ".join(parts)

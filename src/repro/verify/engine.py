@@ -1,0 +1,355 @@
+"""The verification engine: programs -> subgoals -> decided triples.
+
+The engine applies the paper's recipe (§5).  For
+``{pre} ... while B do {I} S ... {post}`` it emits:
+
+1. **entry** — from the precondition, the code before the loop
+   establishes the invariant and makes the guard safe to evaluate;
+2. **preservation** — from ``I`` and a true, safely evaluated guard,
+   the body re-establishes ``I`` (and guard safety);
+3. the verification of the rest continues from ``I & ~B``.
+
+Cut-point assertions split triples the same way.  A missing invariant
+or assertion stands for "well-formedness only", the system default.
+
+Every subgoal is decided *completely*: the loop-free statements are
+executed symbolically (:mod:`repro.symbolic.exec`), the obligation
+
+    wf_string & assume & ~oom  =>  ~error & wf_graph & checks
+
+is compiled to an automaton, and validity is its universality.  A
+failing subgoal yields the shortest string in the difference language,
+decoded into a concrete store and simulated for explanation (§5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, VerificationError
+from repro.mso.ast import Formula
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import CompilationStats, Compiler
+from repro.pascal import check_program, parse_program
+from repro.pascal.ast import Annotation
+from repro.pascal.typed import (TAssertStmt, TIf, TWhile, TypedProgram)
+from repro.storelogic.check import check_formula
+from repro.storelogic.eval import eval_formula
+from repro.storelogic.parser import parse_formula
+from repro.storelogic.ast import STrue
+from repro.stores.encode import decode_store
+from repro.stores.model import Store
+from repro.storelogic.translate import translate_formula
+from repro.symbolic.exec import eval_guard, exec_statements
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import SymbolicStore, initial_store
+from repro.symbolic.wf import wf_graph, wf_string
+from repro.exec.interpreter import Interpreter, Trace
+from repro.verify.counterexample import Counterexample, explain_failure
+
+
+@dataclass
+class Obligation:
+    """One named assume/check item of a subgoal."""
+
+    name: str
+    #: builds the M2L formula under a given interpretation
+    producer: Callable[[SymbolicStore], Formula]
+    #: evaluates the same condition on a concrete store (explanations)
+    concrete: Optional[Callable[[Store], bool]] = None
+
+
+@dataclass
+class Subgoal:
+    """A loop-free Hoare triple to decide."""
+
+    description: str
+    assume: List[Obligation]
+    statements: Tuple[object, ...]
+    check: List[Obligation]
+
+
+@dataclass
+class SubgoalResult:
+    """Outcome of deciding one subgoal."""
+
+    subgoal: Subgoal
+    valid: bool
+    counterexample: Optional[Counterexample]
+    stats: CompilationStats
+    formula_size: int
+    seconds: float
+
+    @property
+    def description(self) -> str:
+        return self.subgoal.description
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of verifying a whole program."""
+
+    program: str
+    results: List[SubgoalResult] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """True iff every subgoal was decided valid."""
+        return all(result.valid for result in self.results)
+
+    @property
+    def counterexample(self) -> Optional[Counterexample]:
+        """The first counterexample, if any."""
+        for result in self.results:
+            if result.counterexample is not None:
+                return result.counterexample
+        return None
+
+    @property
+    def seconds(self) -> float:
+        return sum(result.seconds for result in self.results)
+
+    @property
+    def formula_size(self) -> int:
+        return sum(result.formula_size for result in self.results)
+
+    @property
+    def max_states(self) -> int:
+        return max((result.stats.max_states for result in self.results),
+                   default=0)
+
+    @property
+    def max_nodes(self) -> int:
+        return max((result.stats.max_nodes for result in self.results),
+                   default=0)
+
+
+def verify_source(text: str, **kwargs: object) -> VerificationResult:
+    """Parse, check and verify a program source."""
+    return verify_program(check_program(parse_program(text)), **kwargs)
+
+
+def verify_program(program: TypedProgram,
+                   **kwargs: object) -> VerificationResult:
+    """Verify a typed program."""
+    return Verifier(program, **kwargs).verify()  # type: ignore[arg-type]
+
+
+class Verifier:
+    """Decides all of one program's subgoals.
+
+    Args:
+        program: the typed program to verify.
+        minimize_during: minimise intermediate automata (ablation
+            switch; leave True).
+        simulate: run counterexamples through the concrete interpreter
+            for richer explanations.
+        stop_at_first_failure: skip remaining subgoals after one fails.
+    """
+
+    def __init__(self, program: TypedProgram,
+                 minimize_during: bool = True,
+                 simulate: bool = True,
+                 stop_at_first_failure: bool = False) -> None:
+        self.program = program
+        self.minimize_during = minimize_during
+        self.simulate = simulate
+        self.stop_at_first_failure = stop_at_first_failure
+        self._guard_cache: Dict[Tuple[int, int],
+                                Tuple[Formula, Formula]] = {}
+
+    # ------------------------------------------------------------------
+
+    def verify(self) -> VerificationResult:
+        """Collect and decide every subgoal."""
+        result = VerificationResult(self.program.name)
+        for subgoal in self.collect_subgoals():
+            result.results.append(self.decide(subgoal))
+            if self.stop_at_first_failure and \
+                    not result.results[-1].valid:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # Subgoal collection
+    # ------------------------------------------------------------------
+
+    def collect_subgoals(self) -> List[Subgoal]:
+        """Split the program into loop-free triples."""
+        subgoals: List[Subgoal] = []
+        pre = [self._assertion_obligation("precondition",
+                                          self.program.pre)]
+        post = [self._assertion_obligation("postcondition",
+                                           self.program.post)]
+        self._split(subgoals, pre, tuple(self.program.body), post,
+                    "postcondition")
+        return subgoals
+
+    def _split(self, subgoals: List[Subgoal], assume: List[Obligation],
+               statements: Tuple[object, ...], final: List[Obligation],
+               final_desc: str) -> None:
+        prefix: List[object] = []
+        for statement in statements:
+            if isinstance(statement, TWhile):
+                inv = self._assertion_obligation(
+                    f"invariant (line {statement.line})",
+                    statement.invariant)
+                guard_safe = self._guard_obligation(statement, safe=True)
+                guard_true = self._guard_obligation(statement, value=True)
+                guard_false = self._guard_obligation(statement,
+                                                     value=False)
+                subgoals.append(Subgoal(
+                    f"loop entry (line {statement.line})",
+                    assume, tuple(prefix), [inv, guard_safe]))
+                self._split(subgoals, [inv, guard_safe, guard_true],
+                            statement.body, [inv, guard_safe],
+                            f"invariant preservation "
+                            f"(line {statement.line})")
+                assume = [inv, guard_safe, guard_false]
+                prefix = []
+            elif isinstance(statement, TAssertStmt):
+                cut = self._assertion_obligation(
+                    f"assertion (line {statement.line})",
+                    statement.annotation)
+                subgoals.append(Subgoal(
+                    f"assertion (line {statement.line})",
+                    assume, tuple(prefix), [cut]))
+                assume = [cut]
+                prefix = []
+            else:
+                self._reject_nested_loops(statement)
+                prefix.append(statement)
+        subgoals.append(Subgoal(final_desc, assume, tuple(prefix), final))
+
+    def _reject_nested_loops(self, statement: object) -> None:
+        if isinstance(statement, TIf):
+            for inner in statement.then_body + statement.else_body:
+                if isinstance(inner, (TWhile, TAssertStmt)):
+                    raise VerificationError(
+                        f"line {getattr(inner, 'line', 0)}: loops and "
+                        f"assertions inside conditional branches are not "
+                        f"supported; hoist the conditional or add a "
+                        f"cut-point assertion before it")
+                self._reject_nested_loops(inner)
+
+    # ------------------------------------------------------------------
+    # Obligations
+    # ------------------------------------------------------------------
+
+    def _assertion_obligation(self, name: str,
+                              annotation: Optional[Annotation]
+                              ) -> Obligation:
+        if annotation is None:
+            formula: object = STrue()
+            text = "true (well-formedness only)"
+        else:
+            formula = check_formula(parse_formula(annotation.text),
+                                    self.program.schema)
+            text = annotation.text
+        return Obligation(
+            name=f"{name}: {{{text}}}",
+            producer=lambda st, f=formula: translate_formula(f, st),
+            concrete=lambda store, f=formula: eval_formula(f, store))
+
+    def _guard_obligation(self, loop: TWhile, safe: bool = False,
+                          value: Optional[bool] = None) -> Obligation:
+        interpreter = Interpreter(self.program)
+
+        def producer(st: SymbolicStore) -> Formula:
+            val, err = self._eval_guard_cached(st, loop.cond)
+            if safe:
+                return F.not_(err)
+            return val if value else F.not_(val)
+
+        def concrete(store: Store) -> bool:
+            try:
+                result = interpreter._guard(store, loop.cond)
+            except ExecutionError:
+                return not safe and value is None
+            if safe:
+                return True
+            return result if value else not result
+
+        kind = "guard is safe to evaluate" if safe else \
+            f"guard is {'true' if value else 'false'}"
+        return Obligation(name=f"{kind}: {loop.cond}",
+                          producer=producer, concrete=concrete)
+
+    def _eval_guard_cached(self, st: SymbolicStore,
+                           guard: object) -> Tuple[Formula, Formula]:
+        key = (id(st), id(guard))
+        found = self._guard_cache.get(key)
+        if found is None:
+            found = eval_guard(st, guard)
+            self._guard_cache[key] = found
+        return found
+
+    # ------------------------------------------------------------------
+    # Deciding one subgoal
+    # ------------------------------------------------------------------
+
+    def decide(self, subgoal: Subgoal) -> SubgoalResult:
+        """Decide one loop-free triple completely."""
+        started = time.perf_counter()
+        schema = self.program.schema
+        compiler = Compiler(minimize_during=self.minimize_during)
+        layout = TrackLayout(schema)
+        layout.register(compiler)
+        st0 = initial_store(schema, layout)
+        outcome = exec_statements(st0, subgoal.statements)
+        assume = F.conj(
+            [wf_string(layout)]
+            + [item.producer(st0) for item in subgoal.assume]
+            + [F.not_(outcome.oom)])
+        obligation = F.conj(
+            [F.not_(outcome.error), wf_graph(outcome.store)]
+            + [item.producer(outcome.store) for item in subgoal.check])
+        negation = F.and_(assume, F.not_(obligation))
+        formula_size = negation.size()
+        dfa = compiler.compile(negation)
+        word = dfa.shortest_accepted()
+        counterexample = None
+        if word is not None:
+            counterexample = self._build_counterexample(
+                subgoal, layout, compiler, word)
+        elapsed = time.perf_counter() - started
+        return SubgoalResult(subgoal=subgoal, valid=word is None,
+                             counterexample=counterexample,
+                             stats=compiler.stats,
+                             formula_size=formula_size, seconds=elapsed)
+
+    # ------------------------------------------------------------------
+    # Counterexamples
+    # ------------------------------------------------------------------
+
+    def _build_counterexample(self, subgoal: Subgoal,
+                              layout: TrackLayout, compiler: Compiler,
+                              word: Sequence[Dict[int, bool]]
+                              ) -> Counterexample:
+        symbols = layout.word_to_symbols(word, compiler.tracks())
+        store = decode_store(self.program.schema, symbols)
+        trace: Optional[Trace] = None
+        runtime_error: Optional[str] = None
+        final_store: Optional[Store] = None
+        failed: List[str] = []
+        if self.simulate:
+            interpreter = Interpreter(self.program)
+            working = store.clone()
+            trace = Trace()
+            try:
+                interpreter.run_statements(working, subgoal.statements,
+                                           trace)
+                final_store = working
+            except ExecutionError as exc:
+                runtime_error = str(exc)
+            if final_store is not None:
+                for item in subgoal.check:
+                    if item.concrete is not None and \
+                            not item.concrete(final_store):
+                        failed.append(item.name)
+        explanation = explain_failure(final_store, failed, runtime_error)
+        return Counterexample(description=subgoal.description,
+                              symbols=symbols, store=store, trace=trace,
+                              explanation=explanation)

@@ -1,0 +1,56 @@
+"""Textual reports of verification results.
+
+Formats single-program reports for the CLI and the rows of the
+paper's §6 statistics table (Program | Time | Formula | States |
+Nodes) for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.verify.engine import VerificationResult
+
+TABLE_HEADER = (f"{'Program':<12} {'Time (s)':>9} {'Formula':>9} "
+                f"{'States':>7} {'Nodes':>7}  Valid")
+
+
+def format_table_row(result: VerificationResult) -> str:
+    """One row of the §6-style statistics table."""
+    return (f"{result.program:<12} {result.seconds:>9.2f} "
+            f"{result.formula_size:>9} {result.max_states:>7} "
+            f"{result.max_nodes:>7}  {'yes' if result.valid else 'NO'}")
+
+
+def format_table(results: Iterable[VerificationResult]) -> str:
+    """The whole statistics table."""
+    lines = [TABLE_HEADER, "-" * len(TABLE_HEADER)]
+    lines.extend(format_table_row(result) for result in results)
+    return "\n".join(lines)
+
+
+def format_result(result: VerificationResult,
+                  verbose: bool = False) -> str:
+    """Full report for one program."""
+    lines: List[str] = []
+    verdict = "VERIFIED" if result.valid else "FAILED"
+    lines.append(f"{result.program}: {verdict} "
+                 f"({len(result.results)} subgoals, "
+                 f"{result.seconds:.2f}s, formula size "
+                 f"{result.formula_size}, max automaton "
+                 f"{result.max_states} states / {result.max_nodes} "
+                 f"BDD nodes)")
+    for subgoal_result in result.results:
+        mark = "ok " if subgoal_result.valid else "FAIL"
+        lines.append(f"  [{mark}] {subgoal_result.description} "
+                     f"({subgoal_result.seconds:.2f}s, "
+                     f"{subgoal_result.stats.max_states} states)")
+        if verbose or not subgoal_result.valid:
+            for item in subgoal_result.subgoal.check:
+                lines.append(f"         check: {item.name}")
+    counterexample = result.counterexample
+    if counterexample is not None:
+        lines.append("counterexample:")
+        lines.extend("  " + line
+                     for line in counterexample.render().splitlines())
+    return "\n".join(lines)

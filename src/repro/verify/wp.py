@@ -1,0 +1,124 @@
+"""Weakest preconditions as automata (paper §4).
+
+The decision procedure's central object: for loop-free code ``S`` and
+a postcondition ``Q``, the set of well-formed initial stores from
+which ``S`` runs without error and ends in a well-formed store
+satisfying ``Q`` is regular.  :func:`wp_automaton` computes it — the
+paper's ``wp(S, Q)`` restricted to encodings of well-formed stores.
+
+Triple validity is then exactly the inclusion the paper states::
+
+    L(pre) ∩ L(alloc(S)) ⊆ L(wp(S, Q))
+
+with ``alloc(S)`` the "enough free cells" assumption (our ``~oom``);
+:func:`triple_is_valid_by_inclusion` decides triples that way, and the
+test suite cross-validates it against the engine's implication check.
+:meth:`WpResult.smallest_store` turns the machinery around: the
+smallest input on which the code provably works — a synthesis use of
+the decision procedure beyond what the paper demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.symbolic import SymbolicDfa
+from repro.mso.ast import Formula
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.pascal.typed import TypedProgram
+from repro.storelogic.check import check_formula
+from repro.storelogic.parser import parse_formula
+from repro.storelogic.translate import translate_formula
+from repro.stores.encode import decode_store
+from repro.stores.model import Store
+from repro.symbolic.exec import exec_statements
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import initial_store
+from repro.symbolic.wf import wf_graph, wf_string
+
+
+@dataclass
+class WpResult:
+    """The weakest-precondition automaton and its surroundings."""
+
+    #: Accepts encodings of well-formed stores from which the code is
+    #: safe and establishes the postcondition (out-of-memory excused).
+    automaton: SymbolicDfa
+    #: Accepts well-formed stores with too little memory for the code.
+    oom_automaton: SymbolicDfa
+    compiler: Compiler
+    layout: TrackLayout
+
+    def accepts_store(self, store: Store) -> bool:
+        """Membership of a concrete well-formed store."""
+        from repro.stores.encode import encode_store
+        word = self.layout.symbols_to_word(encode_store(store),
+                                           self.compiler.tracks())
+        return self.automaton.accepts(word)
+
+    def smallest_store(self, schema) -> Optional[Store]:
+        """The smallest store in the wp language, or None if empty."""
+        word = self.automaton.shortest_accepted()
+        if word is None:
+            return None
+        symbols = self.layout.word_to_symbols(word,
+                                              self.compiler.tracks())
+        return decode_store(schema, symbols)
+
+
+def wp_automaton(program: TypedProgram, statements,
+                 postcondition: Optional[str] = None) -> WpResult:
+    """The weakest precondition of loop-free ``statements``.
+
+    ``postcondition`` is a store-logic assertion (None means
+    "well-formedness only").  The result's language is over the
+    canonical store encodings::
+
+        wf_string & ~oom & ~error & wf_graph(final) & post(final)
+        | wf_string & oom                     (excused stores)
+
+    restricted to ``wf_string``, i.e. exactly the paper's
+    ``alloc => wp`` reading: a store belongs when it either lacks the
+    memory the code would need (excused) or runs safely into the
+    postcondition.
+    """
+    schema = program.schema
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    state0 = initial_store(schema, layout)
+    outcome = exec_statements(state0, statements)
+    post: Formula = F.conj([])
+    if postcondition is not None:
+        checked = check_formula(parse_formula(postcondition), schema)
+        post = translate_formula(checked, outcome.store)
+    wf0 = wf_string(layout)
+    good = F.conj([F.not_(outcome.error), wf_graph(outcome.store), post])
+    wp = F.and_(wf0, F.or_(outcome.oom, good))
+    automaton = compiler.compile(wp)
+    oom_automaton = compiler.compile(F.and_(wf0, outcome.oom))
+    return WpResult(automaton=automaton, oom_automaton=oom_automaton,
+                    compiler=compiler, layout=layout)
+
+
+def triple_is_valid_by_inclusion(program: TypedProgram, statements,
+                                 precondition: Optional[str],
+                                 postcondition: Optional[str]) -> bool:
+    """Decide a triple the way the paper phrases it: language
+    inclusion ``L(pre) ∩ L(alloc) ⊆ L(wp(S, post))``.
+
+    Equivalent to the engine's implication check; exists so the test
+    suite can cross-validate the two formulations.
+    """
+    result = wp_automaton(program, statements, postcondition)
+    compiler, layout = result.compiler, result.layout
+    schema = program.schema
+    state0 = initial_store(schema, layout)
+    pre: Formula = F.conj([])
+    if precondition is not None:
+        checked = check_formula(parse_formula(precondition), schema)
+        pre = translate_formula(checked, state0)
+    lhs = compiler.compile(F.and_(wf_string(layout), pre))
+    return result.automaton.includes(lhs)

@@ -1,0 +1,13 @@
+"""Pytest configuration: make the shared helpers importable and
+register the ``slow`` marker used by the heavyweight integration
+tests."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: full-pipeline verification tests (seconds each)")

@@ -1,0 +1,181 @@
+"""Tests for explicit-alphabet automata (the oracle layer)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.explicit import Dfa, Nfa, Regex
+
+SIGMA = ("a", "b")
+
+
+def _regexes():
+    leaf = st.sampled_from(SIGMA).map(Regex.symbol)
+    return st.recursive(
+        leaf | st.just(Regex.epsilon()),
+        lambda children: st.one_of(
+            st.tuples(children, children).map(lambda t: t[0] + t[1]),
+            st.tuples(children, children).map(lambda t: t[0] | t[1]),
+            children.map(lambda r: r.star())),
+        max_leaves=6)
+
+
+def _language(regex, max_len):
+    """Brute-force language of a regex up to a length, via its NFA."""
+    import itertools
+    nfa = regex.to_nfa()
+    return {word for length in range(max_len + 1)
+            for word in itertools.product(SIGMA, repeat=length)
+            if nfa.accepts(word)}
+
+
+class TestRegexConstruction:
+    def test_symbol(self):
+        nfa = Regex.symbol("a").to_nfa()
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["b"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_epsilon_and_empty(self):
+        assert Regex.epsilon().to_nfa().accepts([])
+        assert not Regex.empty().to_nfa().accepts([])
+        assert not Regex.empty().to_nfa().accepts(["a"])
+
+    def test_concatenation(self):
+        nfa = (Regex.symbol("a") + Regex.symbol("b")).to_nfa()
+        assert nfa.accepts(["a", "b"])
+        assert not nfa.accepts(["b", "a"])
+
+    def test_union(self):
+        nfa = (Regex.symbol("a") | Regex.symbol("b")).to_nfa()
+        assert nfa.accepts(["a"]) and nfa.accepts(["b"])
+        assert not nfa.accepts([])
+
+    def test_star(self):
+        nfa = Regex.symbol("a").star().to_nfa()
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"] * 5)
+        assert not nfa.accepts(["a", "b"])
+
+    def test_plus(self):
+        nfa = Regex.symbol("a").plus().to_nfa()
+        assert not nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert nfa.accepts(["a", "a", "a"])
+
+    def test_opt(self):
+        nfa = Regex.symbol("a").opt().to_nfa()
+        assert nfa.accepts([])
+        assert nfa.accepts(["a"])
+        assert not nfa.accepts(["a", "a"])
+
+    def test_symbols(self):
+        regex = (Regex.symbol("a") + Regex.symbol("b")).star()
+        assert regex.symbols() == frozenset(SIGMA)
+
+
+class TestDfaOperations:
+    @pytest.fixture
+    def ab_star(self):
+        """(ab)* as a minimal DFA."""
+        return (Regex.symbol("a") + Regex.symbol("b")).star() \
+            .to_nfa().determinize().minimize()
+
+    def test_determinize_preserves_language(self, ab_star):
+        assert ab_star.accepts([])
+        assert ab_star.accepts(["a", "b", "a", "b"])
+        assert not ab_star.accepts(["a"])
+        assert not ab_star.accepts(["b", "a"])
+
+    def test_complement(self, ab_star):
+        comp = ab_star.complement()
+        assert not comp.accepts([])
+        assert comp.accepts(["a"])
+        assert comp.intersect(ab_star).is_empty()
+
+    def test_union_and_difference(self, ab_star):
+        just_a = Regex.symbol("a").to_nfa().determinize(SIGMA)
+        both = ab_star.union(just_a)
+        assert both.accepts(["a"])
+        assert both.accepts(["a", "b"])
+        diff = both.difference(ab_star)
+        assert diff.accepts(["a"])
+        assert not diff.accepts(["a", "b"])
+
+    def test_shortest_word(self, ab_star):
+        nonempty = ab_star.difference(
+            Regex.epsilon().to_nfa().determinize(SIGMA))
+        assert nonempty.shortest_word() == ["a", "b"]
+
+    def test_shortest_word_empty_language(self):
+        dfa = Regex.empty().to_nfa().determinize(SIGMA)
+        assert dfa.shortest_word() is None
+        assert dfa.is_empty()
+
+    def test_universal(self):
+        sigma_star = (Regex.symbol("a") | Regex.symbol("b")).star()
+        dfa = sigma_star.to_nfa().determinize(SIGMA)
+        assert dfa.is_universal()
+
+    def test_includes_and_equivalent(self, ab_star):
+        twice = (Regex.symbol("a") + Regex.symbol("b")
+                 + Regex.symbol("a") + Regex.symbol("b"))
+        small = twice.to_nfa().determinize(SIGMA)
+        assert ab_star.includes(small)
+        assert not small.includes(ab_star)
+        assert ab_star.equivalent(
+            ab_star.minimize())
+
+    def test_minimize_is_minimal(self, ab_star):
+        # (ab)* needs exactly 3 states (start/accept, after-a, sink)
+        assert ab_star.num_states == 3
+
+    def test_words_up_to(self, ab_star):
+        words = set(ab_star.words_up_to(4))
+        assert words == {(), ("a", "b"), ("a", "b", "a", "b")}
+
+
+@settings(max_examples=60, deadline=None)
+@given(_regexes())
+def test_determinization_preserves_language(regex):
+    nfa = regex.to_nfa()
+    dfa = nfa.determinize(SIGMA)
+    import itertools
+    for length in range(4):
+        for word in itertools.product(SIGMA, repeat=length):
+            assert nfa.accepts(word) == dfa.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_regexes())
+def test_minimization_preserves_language(regex):
+    dfa = regex.to_nfa().determinize(SIGMA)
+    mini = dfa.minimize()
+    assert mini.num_states <= dfa.num_states
+    assert mini.equivalent(dfa)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_regexes(), _regexes())
+def test_product_languages(left, right):
+    ldfa = left.to_nfa().determinize(SIGMA)
+    rdfa = right.to_nfa().determinize(SIGMA)
+    lset = _language(left, 3)
+    rset = _language(right, 3)
+    inter = ldfa.intersect(rdfa)
+    union = ldfa.union(rdfa)
+    import itertools
+    for length in range(4):
+        for word in itertools.product(SIGMA, repeat=length):
+            assert inter.accepts(word) == (word in lset and word in rset)
+            assert union.accepts(word) == (word in lset or word in rset)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_regexes())
+def test_minimal_dfa_is_canonical(regex):
+    """Minimising twice, or after a complement round-trip, gives the
+    same number of states (Myhill-Nerode uniqueness)."""
+    dfa = regex.to_nfa().determinize(SIGMA).minimize()
+    again = dfa.complement().complement().minimize()
+    assert again.num_states == dfa.num_states

@@ -1,0 +1,233 @@
+"""Unit and property tests for the ROBDD package."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Bdd
+
+
+@pytest.fixture
+def mgr():
+    return Bdd()
+
+
+# ----------------------------------------------------------------------
+# Basic algebra
+# ----------------------------------------------------------------------
+
+class TestBasics:
+    def test_terminals(self, mgr):
+        assert mgr.is_terminal(Bdd.FALSE)
+        assert mgr.is_terminal(Bdd.TRUE)
+        assert not mgr.is_terminal(mgr.var(0))
+
+    def test_var_evaluation(self, mgr):
+        x = mgr.var(3)
+        assert mgr.evaluate(x, {3: True})
+        assert not mgr.evaluate(x, {3: False})
+        assert not mgr.evaluate(x, {})  # missing defaults to False
+
+    def test_nvar(self, mgr):
+        assert mgr.nvar(1) == mgr.not_(mgr.var(1))
+
+    def test_literal(self, mgr):
+        assert mgr.literal(2, True) == mgr.var(2)
+        assert mgr.literal(2, False) == mgr.nvar(2)
+
+    def test_hash_consing_makes_equal_functions_identical(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        left = mgr.and_(x, y)
+        right = mgr.not_(mgr.or_(mgr.not_(x), mgr.not_(y)))
+        assert left == right
+
+    def test_redundant_node_collapses(self, mgr):
+        assert mgr.node(0, mgr.TRUE, mgr.TRUE) == mgr.TRUE
+
+    def test_not_involution(self, mgr):
+        f = mgr.xor(mgr.var(0), mgr.var(2))
+        assert mgr.not_(mgr.not_(f)) == f
+
+    def test_constants(self, mgr):
+        x = mgr.var(0)
+        assert mgr.and_(x, mgr.FALSE) == mgr.FALSE
+        assert mgr.and_(x, mgr.TRUE) == x
+        assert mgr.or_(x, mgr.TRUE) == mgr.TRUE
+        assert mgr.or_(x, mgr.FALSE) == x
+        assert mgr.xor(x, x) == mgr.FALSE
+        assert mgr.implies(mgr.FALSE, x) == mgr.TRUE
+        assert mgr.iff(x, x) == mgr.TRUE
+
+    def test_ite_matches_definition(self, mgr):
+        f, g, h = mgr.var(0), mgr.var(1), mgr.var(2)
+        expected = mgr.or_(mgr.and_(f, g), mgr.and_(mgr.not_(f), h))
+        assert mgr.ite(f, g, h) == expected
+
+
+# ----------------------------------------------------------------------
+# Quantification, restriction, composition
+# ----------------------------------------------------------------------
+
+class TestOperators:
+    def test_restrict(self, mgr):
+        f = mgr.and_(mgr.var(0), mgr.or_(mgr.var(1), mgr.var(2)))
+        assert mgr.restrict(f, {0: True, 1: True}) == mgr.TRUE
+        assert mgr.restrict(f, {0: False}) == mgr.FALSE
+        assert mgr.restrict(f, {1: False, 2: False}) == mgr.FALSE
+
+    def test_exists(self, mgr):
+        f = mgr.and_(mgr.var(0), mgr.var(1))
+        assert mgr.exists(f, [1]) == mgr.var(0)
+        assert mgr.exists(f, [0, 1]) == mgr.TRUE
+
+    def test_forall(self, mgr):
+        f = mgr.or_(mgr.var(0), mgr.var(1))
+        assert mgr.forall(f, [0]) == mgr.var(1)
+        assert mgr.forall(f, [0, 1]) == mgr.FALSE
+
+    def test_exists_no_vars_is_identity(self, mgr):
+        f = mgr.var(0)
+        assert mgr.exists(f, []) == f
+
+    def test_compose(self, mgr):
+        # f = x0 & x2, substitute x2 := x1 | x3
+        f = mgr.and_(mgr.var(0), mgr.var(2))
+        g = mgr.or_(mgr.var(1), mgr.var(3))
+        expected = mgr.and_(mgr.var(0), g)
+        assert mgr.compose(f, 2, g) == expected
+
+    def test_support(self, mgr):
+        f = mgr.and_(mgr.var(0), mgr.xor(mgr.var(3), mgr.var(5)))
+        assert mgr.support(f) == frozenset({0, 3, 5})
+        assert mgr.support(mgr.TRUE) == frozenset()
+
+
+# ----------------------------------------------------------------------
+# Counting and enumeration
+# ----------------------------------------------------------------------
+
+class TestCounting:
+    def test_sat_count_simple(self, mgr):
+        x, y = mgr.var(0), mgr.var(1)
+        assert mgr.sat_count(mgr.and_(x, y), 2) == 1
+        assert mgr.sat_count(mgr.or_(x, y), 2) == 3
+        assert mgr.sat_count(mgr.TRUE, 3) == 8
+        assert mgr.sat_count(mgr.FALSE, 3) == 0
+
+    def test_sat_count_with_free_vars(self, mgr):
+        # f over var 1 only, counted over 3 vars -> doubled twice
+        f = mgr.var(1)
+        assert mgr.sat_count(f, 3) == 4
+
+    def test_any_sat(self, mgr):
+        f = mgr.and_(mgr.var(0), mgr.not_(mgr.var(1)))
+        model = mgr.any_sat(f)
+        assert model is not None
+        assert mgr.evaluate(f, model)
+        assert mgr.any_sat(mgr.FALSE) is None
+
+    def test_all_sat(self, mgr):
+        f = mgr.xor(mgr.var(0), mgr.var(1))
+        models = list(mgr.all_sat(f, [0, 1]))
+        assert len(models) == 2
+        assert all(mgr.evaluate(f, m) for m in models)
+
+    def test_node_count(self, mgr):
+        assert mgr.node_count(mgr.TRUE) == 0
+        assert mgr.node_count(mgr.var(0)) == 1
+
+
+# ----------------------------------------------------------------------
+# Property-based: random expressions against truth tables
+# ----------------------------------------------------------------------
+
+def _exprs(num_vars):
+    leaf = st.integers(min_value=0, max_value=num_vars - 1).map(
+        lambda i: ("var", i))
+    return st.recursive(
+        leaf | st.just(("const", True)) | st.just(("const", False)),
+        lambda children: st.tuples(
+            st.sampled_from(["and", "or", "xor", "not", "implies"]),
+            children, children),
+        max_leaves=12)
+
+
+def _build(mgr, expr):
+    if expr[0] == "var":
+        return mgr.var(expr[1])
+    if expr[0] == "const":
+        return mgr.TRUE if expr[1] else mgr.FALSE
+    op, left, right = expr
+    lf, rf = _build(mgr, left), _build(mgr, right)
+    if op == "and":
+        return mgr.and_(lf, rf)
+    if op == "or":
+        return mgr.or_(lf, rf)
+    if op == "xor":
+        return mgr.xor(lf, rf)
+    if op == "implies":
+        return mgr.implies(lf, rf)
+    return mgr.not_(lf)
+
+
+def _truth(expr, env):
+    if expr[0] == "var":
+        return env[expr[1]]
+    if expr[0] == "const":
+        return expr[1]
+    op, left, right = expr
+    lv, rv = _truth(left, env), _truth(right, env)
+    if op == "and":
+        return lv and rv
+    if op == "or":
+        return lv or rv
+    if op == "xor":
+        return lv != rv
+    if op == "implies":
+        return (not lv) or rv
+    return not lv
+
+
+NUM_VARS = 4
+
+
+@settings(max_examples=150, deadline=None)
+@given(_exprs(NUM_VARS))
+def test_bdd_matches_truth_table(expr):
+    mgr = Bdd()
+    f = _build(mgr, expr)
+    for bits in itertools.product([False, True], repeat=NUM_VARS):
+        env = dict(enumerate(bits))
+        assert mgr.evaluate(f, env) == _truth(expr, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_exprs(NUM_VARS))
+def test_sat_count_matches_enumeration(expr):
+    mgr = Bdd()
+    f = _build(mgr, expr)
+    expected = sum(
+        1 for bits in itertools.product([False, True], repeat=NUM_VARS)
+        if _truth(expr, dict(enumerate(bits))))
+    assert mgr.sat_count(f, NUM_VARS) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(_exprs(NUM_VARS), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_exists_is_disjunction_of_cofactors(expr, level):
+    mgr = Bdd()
+    f = _build(mgr, expr)
+    expected = mgr.or_(mgr.restrict(f, {level: False}),
+                       mgr.restrict(f, {level: True}))
+    assert mgr.exists(f, [level]) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(_exprs(NUM_VARS), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_forall_is_conjunction_of_cofactors(expr, level):
+    mgr = Bdd()
+    f = _build(mgr, expr)
+    expected = mgr.and_(mgr.restrict(f, {level: False}),
+                        mgr.restrict(f, {level: True}))
+    assert mgr.forall(f, [level]) == expected

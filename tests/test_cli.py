@@ -1,0 +1,88 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+from repro.programs import ALL_PROGRAMS
+
+
+class TestListAndShow:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reverse", "swap", "zip"):
+            assert name in out
+
+    def test_show(self, capsys):
+        assert main(["show", "reverse"]) == 0
+        out = capsys.readouterr().out
+        assert out == ALL_PROGRAMS["reverse"]
+
+    def test_show_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["show", "nonexistent"])
+
+
+class TestVerify:
+    def test_verify_bundled_valid(self, capsys):
+        assert main(["verify", "searchwf"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_verify_bundled_invalid(self, capsys):
+        assert main(["verify", "swap", "--no-simulate"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "counterexample" in out
+
+    def test_verify_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.pas"
+        path.write_text(ALL_PROGRAMS["swapfix"])
+        assert main(["verify", str(path)]) == 0
+
+    def test_verbose_flag(self, capsys):
+        assert main(["verify", "searchwf", "--verbose"]) == 0
+        assert "check:" in capsys.readouterr().out
+
+    def test_front_end_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.pas"
+        path.write_text("program broken; begin x := ; end.")
+        assert main(["verify", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file(self):
+        with pytest.raises(OSError):
+            main(["verify", "/nonexistent/path.pas"])
+
+
+class TestTable:
+    def test_table_subset(self, capsys):
+        assert main(["table", "searchwf"]) == 0
+        out = capsys.readouterr().out
+        assert "Program" in out
+        assert "searchwf" in out
+
+    def test_table_reports_failures(self, capsys):
+        assert main(["table", "searchwf", "fumble"]) == 1
+        assert "NO" in capsys.readouterr().out
+
+
+class TestSynth:
+    def test_synthesizes_smallest_store(self, capsys):
+        assert main(["synth", "x<next*>p & <(List:blue)?>p"]) == 0
+        out = capsys.readouterr().out
+        assert "string:" in out
+        assert "(Item:blue)" in out
+
+    def test_unsatisfiable(self, capsys):
+        assert main(["synth", "x <> x"]) == 1
+        assert "unsatisfiable" in capsys.readouterr().out
+
+    def test_schema_from_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.pas"
+        path.write_text(ALL_PROGRAMS["triple"])
+        assert main(["synth", "q <> nil", "--program", str(path)]) == 0
+        assert "q" in capsys.readouterr().out
+
+    def test_bad_formula_reports_error(self, capsys):
+        assert main(["synth", "x <"]) == 2
+        assert "error:" in capsys.readouterr().err

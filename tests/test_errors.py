@@ -1,0 +1,69 @@
+"""Tests for the error hierarchy and error propagation through the
+public entry points."""
+
+import pytest
+
+from repro.errors import (ExecutionError, ParseError, ReproError,
+                          StoreError, TranslationError, TypeError_,
+                          VerificationError)
+from repro.verify import verify_source
+
+from util import wrap_program
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ParseError, TypeError_, StoreError, ExecutionError,
+        TranslationError, VerificationError])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_parse_error_formats_location(self):
+        error = ParseError("bad token", line=3, column=7)
+        assert "3:7" in str(error)
+        assert error.line == 3
+        assert error.column == 7
+
+    def test_parse_error_without_location(self):
+        error = ParseError("just a message")
+        assert str(error) == "just a message"
+        assert error.line == 0
+
+
+class TestPropagation:
+    def test_syntax_error_in_program(self):
+        with pytest.raises(ParseError):
+            verify_source("program broken; begin x := ; end.")
+
+    def test_type_error_in_program(self):
+        with pytest.raises(TypeError_):
+            verify_source(wrap_program("  z := nil"))
+
+    def test_syntax_error_in_assertion(self):
+        with pytest.raises(ParseError):
+            verify_source(wrap_program("  x := nil", pre="x = "))
+
+    def test_unknown_variable_in_assertion(self):
+        with pytest.raises(TranslationError):
+            verify_source(wrap_program("  x := nil", pre="w = nil"))
+
+    def test_unknown_variant_in_assertion(self):
+        with pytest.raises(TranslationError):
+            verify_source(wrap_program("  x := nil",
+                                       post="<(List:green)?>x"))
+
+    def test_loop_in_branch_reports_verification_error(self):
+        source = wrap_program(
+            "  if x = nil then begin\n"
+            "    while p <> nil do p := p^.next\n"
+            "  end")
+        with pytest.raises(VerificationError):
+            verify_source(source)
+
+    def test_single_repro_error_catch_all(self):
+        """Clients can catch ReproError alone, as the CLI does."""
+        for source in ("program broken; begin x := ; end.",
+                       wrap_program("  z := nil"),
+                       wrap_program("  x := nil", pre="w = nil")):
+            with pytest.raises(ReproError):
+                verify_source(source)

@@ -1,0 +1,220 @@
+"""Tests for the concrete interpreter (the reference semantics)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.interpreter import (AssertionFailure, Interpreter,
+                                    OutOfMemory, Trace)
+from repro.pascal import check_program, parse_program
+from repro.stores.model import NIL_ID, CellKind
+
+from util import list_schema, store_with_lists, wrap_program
+
+
+def build(body, pre="", post=""):
+    return check_program(parse_program(wrap_program(body, pre=pre,
+                                                    post=post)))
+
+
+def run(body, store, **kwargs):
+    program = build(body)
+    Interpreter(program, **kwargs).run(store)
+    return store
+
+
+@pytest.fixture
+def schema():
+    return list_schema()
+
+
+class TestAssignment:
+    def test_var_assign(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        run("  p := x", store)
+        assert store.var("p") == store.var("x")
+
+    def test_nil_assign(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]},
+                                 {"p": ("x", 0)})
+        run("  p := nil", store)
+        assert store.var("p") == NIL_ID
+
+    def test_field_assign(self, schema):
+        store = store_with_lists(schema, {"x": ["red", "blue"]})
+        run("  x^.next := nil", store)
+        assert store.cell(store.var("x")).next == NIL_ID
+
+    def test_deep_path_read(self, schema):
+        store = store_with_lists(schema, {"x": ["red", "blue", "red"]})
+        run("  p := x^.next^.next", store)
+        assert store.var("p") == store.list_of("x")[2]
+
+    def test_nil_dereference_raises(self, schema):
+        store = store_with_lists(schema, {})
+        with pytest.raises(ExecutionError, match="nil"):
+            run("  p := x^.next", store)
+
+    def test_dangling_dereference_raises(self, schema):
+        store = store_with_lists(schema, {})
+        garbage = store.add_garbage()
+        store.set_var("p", garbage)
+        with pytest.raises(ExecutionError, match="dangling"):
+            run("  q := p^.next", store)
+
+    def test_uninitialised_field_read_raises(self, schema):
+        store = store_with_lists(schema, {}, garbage=1)
+        program = build("  new(p, red);\n  q := p^.next")
+        with pytest.raises(ExecutionError, match="uninitialised"):
+            Interpreter(program).run(store)
+
+    def test_write_field_of_nil_raises(self, schema):
+        store = store_with_lists(schema, {})
+        with pytest.raises(ExecutionError):
+            run("  x^.next := nil", store)
+
+
+class TestNewDispose:
+    def test_new_converts_first_garbage(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]}, garbage=2)
+        expected = store.first_garbage()
+        run("  new(p, blue)", store)
+        assert store.var("p") == expected
+        cell = store.cell(expected)
+        assert cell.kind is CellKind.RECORD
+        assert cell.variant == "blue"
+        assert cell.next is None
+
+    def test_new_without_memory_raises_oom(self, schema):
+        store = store_with_lists(schema, {})
+        with pytest.raises(OutOfMemory):
+            run("  new(p, red)", store)
+
+    def test_new_into_field(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]}, garbage=1)
+        run("  new(x^.next, blue)", store)
+        target = store.cell(store.var("x")).next
+        assert store.cell(target).variant == "blue"
+
+    def test_dispose_makes_garbage(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        cell_id = store.var("x")
+        run("  p := x;\n  x := nil;\n  dispose(p, red)", store)
+        cell = store.cell(cell_id)
+        assert cell.kind is CellKind.GARBAGE
+        assert cell.next is None
+
+    def test_dispose_wrong_variant_raises(self, schema):
+        store = store_with_lists(schema, {"x": ["blue"]})
+        with pytest.raises(ExecutionError, match="dispose"):
+            run("  dispose(x, red)", store)
+
+    def test_dispose_nil_raises(self, schema):
+        store = store_with_lists(schema, {})
+        with pytest.raises(ExecutionError):
+            run("  dispose(x, red)", store)
+
+
+class TestGuards:
+    def test_short_circuit_and(self, schema):
+        store = store_with_lists(schema, {})
+        # p = nil: p^.tag would error if evaluated
+        run("  if p <> nil and p^.tag = red then x := nil "
+            "else y := nil", store)
+
+    def test_short_circuit_or(self, schema):
+        store = store_with_lists(schema, {})
+        run("  if p = nil or p^.tag = red then y := nil", store)
+
+    def test_tag_of_nil_raises(self, schema):
+        store = store_with_lists(schema, {})
+        with pytest.raises(ExecutionError, match="tag"):
+            run("  if p^.tag = red then x := nil", store)
+
+    def test_variant_test_value(self, schema):
+        store = store_with_lists(schema, {"x": ["blue"]})
+        run("  if x^.tag = blue then p := x", store)
+        assert store.var("p") == store.var("x")
+
+    def test_not_guard(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        run("  if not x = nil then p := x", store)
+        assert store.var("p") == store.var("x")
+
+
+class TestLoops:
+    def test_loop_runs_to_completion(self, schema):
+        store = store_with_lists(schema, {"x": ["red", "blue", "red"]})
+        run("  while x <> nil do x := x^.next", store)
+        assert store.var("x") == NIL_ID
+
+    def test_loop_iteration_limit(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        store.cell(store.var("x")).next = store.var("x")  # cycle
+        program = build("  while x <> nil do x := x^.next")
+        with pytest.raises(ExecutionError, match="iterations"):
+            Interpreter(program, max_loop_iterations=10).run(store)
+
+    def test_invariant_checked_when_enabled(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        program = build(
+            "  while x <> nil do {x = nil} x := x^.next")
+        with pytest.raises(AssertionFailure):
+            Interpreter(program, check_assertions=True).run(store)
+        # without the flag the invariant is ignored
+        Interpreter(build(
+            "  while x <> nil do {x = nil} x := x^.next"),
+            check_assertions=False).run(
+            store_with_lists(schema, {"x": ["red"]}))
+
+
+class TestAssertions:
+    def test_cut_point_assertion_failure(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        program = build("  x := nil\n  {x <> nil}\n  y := nil")
+        with pytest.raises(AssertionFailure):
+            Interpreter(program).run(store)
+
+    def test_cut_point_assertion_success(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        program = build("  x := nil\n  {x = nil}\n  y := nil")
+        Interpreter(program).run(store)
+
+
+class TestTrace:
+    def test_trace_records_steps(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        program = build("  p := x;\n  x := nil")
+        trace = Trace()
+        Interpreter(program).run(store, trace)
+        assert len(trace.steps) == 2
+        assert trace.steps[0].statement == "p := x"
+        assert trace.failure is None
+        assert "[0] p := x" in trace.render()
+
+    def test_trace_records_failure(self, schema):
+        store = store_with_lists(schema, {})
+        program = build("  p := x^.next")
+        trace = Trace()
+        with pytest.raises(ExecutionError):
+            Interpreter(program).run(store, trace)
+        assert trace.failure is not None
+        assert "FAILURE" in trace.render()
+
+    def test_run_statements_subset(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        program = build("  p := x;\n  x := nil")
+        Interpreter(program).run_statements(store, program.body[:1])
+        assert store.var("p") != NIL_ID
+        assert store.var("x") != NIL_ID
+
+    def test_reverse_program_end_to_end(self, schema):
+        from repro.programs import REVERSE
+        program = check_program(parse_program(REVERSE))
+        from repro.stores.model import Store
+        store = Store(program.schema)
+        store.make_list("x", ["red", "blue", "red"])
+        Interpreter(program).run(store)
+        assert store.var("x") == NIL_ID
+        variants = [store.cell(i).variant for i in store.list_of("y")]
+        assert variants == ["red", "blue", "red"]
+        assert store.is_well_formed()

@@ -1,0 +1,89 @@
+"""The extended corpus (append, split, copy): verification and
+concrete behaviour.
+
+``split`` is by far the heaviest program in the repository (a
+two-quantifier invariant flowing through a conditional body — around
+a minute of reduction), so its verification sits in its own test.
+"""
+
+import pytest
+
+from repro.exec.interpreter import Interpreter
+from repro.pascal import check_program, parse_program
+from repro.programs import APPEND, COPY, SPLIT
+from repro.stores.model import NIL_ID, Store
+from repro.verify import verify_source
+
+pytestmark = pytest.mark.slow
+
+
+class TestAppend:
+    def test_verifies(self):
+        assert verify_source(APPEND).valid
+
+    def test_appends_concretely(self):
+        program = check_program(parse_program(APPEND))
+        store = Store(program.schema)
+        store.make_list("x", ["red", "blue"])
+        store.make_list("y", ["blue"])
+        Interpreter(program).run(store)
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["red", "blue", "blue"]
+        assert store.var("y") == NIL_ID
+        assert store.is_well_formed()
+
+    def test_append_empty_y(self):
+        program = check_program(parse_program(APPEND))
+        store = Store(program.schema)
+        store.make_list("x", ["red"])
+        Interpreter(program).run(store)
+        assert [store.cell(i).variant
+                for i in store.list_of("x")] == ["red"]
+
+
+class TestCopy:
+    def test_verifies(self):
+        assert verify_source(COPY).valid
+
+    def test_copies_shape_and_colours(self):
+        program = check_program(parse_program(COPY))
+        store = Store(program.schema)
+        store.make_list("x", ["red", "blue", "red"])
+        for _ in range(3):
+            store.add_garbage()
+        Interpreter(program).run(store)
+        original = [store.cell(i).variant for i in store.list_of("x")]
+        duplicate = [store.cell(i).variant for i in store.list_of("y")]
+        assert original == duplicate == ["red", "blue", "red"]
+        assert store.is_well_formed()
+
+    def test_copy_of_empty_is_empty(self):
+        program = check_program(parse_program(COPY))
+        store = Store(program.schema)
+        store.add_garbage()
+        Interpreter(program).run(store)
+        assert store.var("y") == NIL_ID
+
+
+class TestSplit:
+    def test_verifies(self):
+        """The heavyweight: ~1 minute of reduction."""
+        assert verify_source(SPLIT).valid
+
+    def test_partitions_concretely(self):
+        program = check_program(parse_program(SPLIT))
+        store = Store(program.schema)
+        store.make_list("x", ["red", "blue", "red", "red", "blue"])
+        Interpreter(program).run(store)
+        assert store.var("x") == NIL_ID
+        reds = [store.cell(i).variant for i in store.list_of("y")]
+        blues = [store.cell(i).variant for i in store.list_of("z")]
+        assert reds == ["red"] * 3
+        assert blues == ["blue"] * 2
+        assert store.is_well_formed()
+
+    def test_split_empty(self):
+        program = check_program(parse_program(SPLIT))
+        store = Store(program.schema)
+        Interpreter(program).run(store)
+        assert store.var("y") == store.var("z") == NIL_ID

@@ -1,0 +1,89 @@
+"""Fuzzing the front ends: random inputs never crash the parsers.
+
+Every parser in the system must either return a result or raise the
+library's own :class:`ParseError` — never an uncontrolled exception —
+whatever bytes arrive.  Hypothesis drives both random text and
+mutations of valid sources.
+"""
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.pascal import parse_program
+from repro.pascal.lexer import tokenize
+from repro.programs import ALL_PROGRAMS
+from repro.storelogic import parse_formula
+from repro.mso.parser import parse_m2l
+
+ALPHABET = ("program begin end if then else while do var type record "
+            "case of new dispose nil not and or x y p q next red blue "
+            "{ } ( ) ; : := = <> ^ . , * + < > & | ~ => <=> ex all "
+            "data pointer true false garb ?").split()
+
+
+def _soups():
+    return st.lists(st.sampled_from(ALPHABET), max_size=40).map(
+        " ".join)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_soups())
+@example("")
+@example("program")
+@example("{unterminated")
+@example("(* unterminated")
+def test_pascal_parser_total(text):
+    try:
+        parse_program(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(max_size=60))
+def test_pascal_lexer_total(text):
+    try:
+        tokenize(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(_soups())
+@example("x <")
+@example("<>")
+@example("ex :")
+def test_storelogic_parser_total(text):
+    try:
+        parse_formula(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=150, deadline=None)
+@given(_soups())
+@example("p +")
+@example("ex1")
+def test_m2l_parser_total(text):
+    try:
+        parse_m2l(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(sorted(ALL_PROGRAMS)),
+       st.integers(min_value=0, max_value=2000),
+       st.sampled_from(ALPHABET))
+def test_mutated_programs_never_crash(name, position, junk):
+    """Splice junk into a valid program: parse or ParseError/TypeError,
+    never a crash."""
+    source = ALL_PROGRAMS[name]
+    position = min(position, len(source))
+    mutated = source[:position] + " " + junk + " " + source[position:]
+    from repro.pascal import check_program
+    try:
+        check_program(parse_program(mutated))
+    except ReproError:
+        pass

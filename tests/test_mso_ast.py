@@ -1,0 +1,158 @@
+"""Tests for M2L formula representation, builders and printing."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.mso import ast
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.mso.pretty import pretty
+
+X = ast.Var.second("X")
+Y = ast.Var.second("Y")
+p = ast.Var.first("p")
+q = ast.Var.first("q")
+
+
+class TestVars:
+    def test_kinds(self):
+        assert ast.Var.first("a").kind is ast.VarKind.FIRST
+        assert ast.Var.second("A").kind is ast.VarKind.SECOND
+
+    def test_identity_semantics(self):
+        assert ast.Var.first("a") is not ast.Var.first("a")
+
+    def test_fresh_are_distinct(self):
+        a = ast.Var.fresh("t", ast.VarKind.FIRST)
+        b = ast.Var.fresh("t", ast.VarKind.FIRST)
+        assert a.name != b.name
+
+    def test_repr(self):
+        assert repr(ast.Var.first("a")) == "a"
+        assert repr(ast.Var.second("A")) == "$A"
+
+
+class TestQuantifierKinds:
+    def test_ex1_requires_first_order(self):
+        with pytest.raises(ValueError):
+            ast.Ex1(X, ast.TRUE)
+
+    def test_all1_requires_first_order(self):
+        with pytest.raises(ValueError):
+            ast.All1(X, ast.TRUE)
+
+    def test_ex2_requires_second_order(self):
+        with pytest.raises(ValueError):
+            ast.Ex2(p, ast.TRUE)
+
+    def test_all2_requires_second_order(self):
+        with pytest.raises(ValueError):
+            ast.All2(p, ast.TRUE)
+
+
+class TestBuilders:
+    def test_constant_folding_and(self):
+        f = F.mem(p, X)
+        assert F.and_(ast.TRUE, f) is f
+        assert F.and_(f, ast.TRUE) is f
+        assert F.and_(ast.FALSE, f) is ast.FALSE
+
+    def test_constant_folding_or(self):
+        f = F.mem(p, X)
+        assert F.or_(ast.FALSE, f) is f
+        assert F.or_(f, ast.TRUE) is ast.TRUE
+
+    def test_not_folding(self):
+        f = F.mem(p, X)
+        assert F.not_(ast.TRUE) is ast.FALSE
+        assert F.not_(F.not_(f)) is f
+
+    def test_implies_folding(self):
+        f = F.mem(p, X)
+        assert F.implies(ast.TRUE, f) is f
+        assert F.implies(ast.FALSE, f) is ast.TRUE
+        assert isinstance(F.implies(f, ast.FALSE), ast.Not)
+
+    def test_iff_folding(self):
+        f = F.mem(p, X)
+        assert F.iff(ast.TRUE, f) is f
+        assert isinstance(F.iff(ast.FALSE, f), ast.Not)
+
+    def test_conj_disj(self):
+        parts = [F.mem(p, X), F.mem(p, Y)]
+        assert isinstance(F.conj(parts), ast.And)
+        assert F.conj([]) is ast.TRUE
+        assert F.disj([]) is ast.FALSE
+
+    def test_quantifier_blocks(self):
+        a, b = ast.Var.first("a"), ast.Var.first("b")
+        f = F.ex1([a, b], ast.TRUE)
+        assert isinstance(f, ast.Ex1) and isinstance(f.body, ast.Ex1)
+        g = F.all2([ast.Var.second("S")], ast.TRUE)
+        assert isinstance(g, ast.All2)
+
+    def test_leq(self):
+        f = F.leq(p, q)
+        assert isinstance(f, ast.Or)
+
+
+class TestMetrics:
+    def test_size_counts_distinct_nodes(self):
+        atom = F.mem(p, X)
+        f = ast.And(atom, atom)  # shared subformula counts once
+        assert f.size() == 2
+
+    def test_free_vars(self):
+        body = F.and_(F.mem(p, X), F.mem(q, X))
+        f = ast.Ex1(p, body)
+        assert f.free_vars() == frozenset({q, X})
+
+    def test_free_vars_all_bound(self):
+        r = ast.Var.first("r")
+        f = ast.Ex1(r, F.first(r))
+        assert f.free_vars() == frozenset()
+
+    def test_str_uses_pretty(self):
+        assert "in" in str(F.mem(p, X))
+
+
+class TestPretty:
+    def test_atoms(self):
+        assert pretty(F.mem(p, X)) == "p in $X"
+        assert pretty(F.sub(X, Y)) == "$X sub $Y"
+        assert pretty(F.less(p, q)) == "p < q"
+        assert pretty(F.succ(p, q)) == "q = p + 1"
+        assert pretty(F.first(p)) == "p = 0"
+        assert pretty(F.last(p)) == "p = $"
+        assert pretty(F.empty(X)) == "empty($X)"
+        assert pretty(F.singleton(X)) == "singleton($X)"
+        assert pretty(ast.TRUE) == "true"
+        assert pretty(ast.FALSE) == "false"
+
+    def test_connectives(self):
+        f = F.and_(F.mem(p, X), F.or_(F.mem(q, X), F.mem(q, Y)))
+        assert pretty(f) == "p in $X & (q in $X | q in $Y)"
+
+    def test_quantifiers(self):
+        f = ast.All1(p, ast.Implies(F.mem(p, X), F.mem(p, Y)))
+        assert pretty(f) == "all1 p: p in $X => p in $Y"
+
+    def test_negation(self):
+        assert pretty(ast.Not(F.mem(p, X))) == "~p in $X"
+
+
+class TestRebindingCheck:
+    def test_double_binding_rejected(self):
+        r = ast.Var.first("r")
+        inner = ast.Ex1(r, F.first(r))
+        outer = ast.Ex1(r, F.and_(F.first(r), inner))
+        with pytest.raises(TranslationError):
+            Compiler().compile(outer)
+
+    def test_shared_quantifier_node_is_fine(self):
+        r = ast.Var.first("r")
+        shared = ast.Ex1(r, F.first(r))
+        f = ast.And(shared, shared)
+        dfa = Compiler().compile(f)
+        assert dfa.accepts([{}])
+        assert not dfa.accepts([])

@@ -1,0 +1,219 @@
+"""Differential tests: the M2L compiler against brute-force semantics.
+
+Every automaton produced by the compiler is compared with the direct
+finite-model evaluation of :mod:`repro.mso.interp` over all strings up
+to a bound and all assignments of the free variables.
+"""
+
+import itertools
+
+import pytest
+
+from repro.mso import ast
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.mso.interp import evaluate, word_for
+
+
+def assert_matches_bruteforce(formula, max_n=4):
+    compiler = Compiler()
+    dfa = compiler.compile(formula)
+    tracks = compiler.tracks()
+    free = sorted(formula.free_vars(), key=lambda v: v.name)
+    for n in range(max_n + 1):
+        for env in _assignments(free, n):
+            expected = evaluate(formula, n, env)
+            got = dfa.accepts(word_for(n, env, tracks))
+            assert expected == got, (str(formula), n, env)
+    return compiler
+
+
+def _assignments(free, n):
+    def go(rest, env):
+        if not rest:
+            yield dict(env)
+            return
+        var, tail = rest[0], rest[1:]
+        if var.kind is ast.VarKind.FIRST:
+            for position in range(n):
+                env[var] = position
+                yield from go(tail, env)
+            env.pop(var, None)
+        else:
+            for size in range(n + 1):
+                for combo in itertools.combinations(range(n), size):
+                    env[var] = frozenset(combo)
+                    yield from go(tail, env)
+            env.pop(var, None)
+
+    yield from go(free, {})
+
+
+x = ast.Var.first("x")
+y = ast.Var.first("y")
+z = ast.Var.first("z")
+X = ast.Var.second("X")
+Y = ast.Var.second("Y")
+Z = ast.Var.second("Z")
+
+
+ATOMS = [
+    F.sub(X, Y),
+    F.mem(x, X),
+    F.eq_set(X, Y),
+    F.eq_pos(x, y),
+    F.less(x, y),
+    F.leq(x, y),
+    F.succ(x, y),
+    F.first(x),
+    F.last(x),
+    F.empty(X),
+    F.singleton(X),
+]
+
+
+@pytest.mark.parametrize("formula", ATOMS, ids=[str(a) for a in ATOMS])
+def test_atoms(formula):
+    assert_matches_bruteforce(formula)
+
+
+BOOLEAN = [
+    F.and_(F.mem(x, X), F.not_(F.mem(x, Y))),
+    F.or_(F.first(x), F.last(x)),
+    F.implies(F.less(x, y), F.not_(F.eq_pos(x, y))),
+    F.iff(F.mem(x, X), F.mem(x, Y)),
+    F.not_(F.sub(X, Y)),
+    F.not_(F.less(x, y)),
+]
+
+
+@pytest.mark.parametrize("formula", BOOLEAN, ids=[str(b) for b in BOOLEAN])
+def test_boolean_combinations(formula):
+    assert_matches_bruteforce(formula)
+
+
+def test_ex1_membership():
+    r = ast.Var.first("r")
+    assert_matches_bruteforce(ast.Ex1(r, F.mem(r, X)))
+
+
+def test_all1_membership():
+    r = ast.Var.first("r")
+    assert_matches_bruteforce(ast.All1(r, F.mem(r, X)))
+
+
+def test_ex2_superset():
+    S = ast.Var.second("S")
+    assert_matches_bruteforce(ast.Ex2(S, F.and_(F.sub(X, S),
+                                                F.not_(F.eq_set(X, S)))),
+                              max_n=3)
+
+
+def test_all2_trivial():
+    S = ast.Var.second("S")
+    assert_matches_bruteforce(ast.All2(S, F.sub(X, X)), max_n=3)
+
+
+def test_nested_quantifiers():
+    a, b = ast.Var.first("a"), ast.Var.first("b")
+    # every member of X has a successor in X
+    formula = ast.All1(a, F.implies(
+        F.mem(a, X),
+        ast.Ex1(b, F.and_(F.succ(a, b), F.mem(b, X)))))
+    assert_matches_bruteforce(formula, max_n=4)
+
+
+def test_transitive_closure_pattern():
+    """The second-order reachability idiom used by routing stars."""
+    S = ast.Var.second("S")
+    a, b = ast.Var.first("a"), ast.Var.first("b")
+    closed = ast.All1(a, ast.All1(b, F.implies(
+        F.and_(F.mem(a, S), F.succ(a, b)), F.mem(b, S))))
+    reach = ast.All2(S, F.implies(F.and_(F.mem(x, S), closed),
+                                  F.mem(y, S)))
+    # reach == x <= y over positions
+    compiler = Compiler()
+    dfa = compiler.compile(reach)
+    tracks = compiler.tracks()
+    for n in range(1, 5):
+        for px in range(n):
+            for py in range(n):
+                word = word_for(n, {x: px, y: py}, tracks)
+                assert dfa.accepts(word) == (px <= py)
+
+
+class TestValidity:
+    def test_transitivity_valid(self):
+        f = F.implies(F.and_(F.less(x, y), F.less(y, z)), F.less(x, z))
+        assert Compiler().is_valid(f)
+
+    def test_antisymmetry_valid(self):
+        f = F.implies(F.less(x, y), F.not_(F.less(y, x)))
+        assert Compiler().is_valid(f)
+
+    def test_invalid_formula(self):
+        assert not Compiler().is_valid(F.less(x, y))
+
+    def test_induction_principle(self):
+        """0 in X and X closed under successor imply last in X."""
+        a, b, first, final = (ast.Var.first(n)
+                              for n in ("a", "b", "fst", "lst"))
+        closed = ast.All1(a, ast.All1(b, F.implies(
+            F.and_(F.mem(a, X), F.succ(a, b)), F.mem(b, X))))
+        zero_in = ast.Ex1(first, F.and_(F.first(first), F.mem(first, X)))
+        last_in = ast.Ex1(final, F.and_(F.last(final), F.mem(final, X)))
+        assert Compiler().is_valid(
+            F.implies(F.and_(zero_in, closed), last_in))
+
+    def test_empty_string_counts(self):
+        """ex1 p: true is not valid — the empty string has no
+        positions."""
+        r = ast.Var.first("r")
+        assert not Compiler().is_valid(ast.Ex1(r, ast.TRUE))
+
+
+class TestCompilerInternals:
+    def test_memoisation_on_shared_nodes(self):
+        atom = F.mem(x, X)
+        f = ast.And(atom, ast.And(atom, atom))
+        compiler = Compiler()
+        compiler.compile(f)
+        # the shared atom compiles once: 1 atom + 2 Ands + top fixups
+        assert compiler.stats.compiled_nodes <= 4
+
+    def test_stats_recorded(self):
+        compiler = Compiler()
+        compiler.compile(F.and_(F.mem(x, X), F.mem(y, Y)))
+        assert compiler.stats.max_states >= 2
+        assert compiler.stats.products >= 1
+        assert compiler.stats.minimizations >= 1
+
+    def test_stats_merge(self):
+        from repro.mso.compile import CompilationStats
+        a = CompilationStats(max_states=5, max_nodes=7, products=1)
+        b = CompilationStats(max_states=3, max_nodes=9, projections=2)
+        a.merge(b)
+        assert a.max_states == 5 and a.max_nodes == 9
+        assert a.products == 1 and a.projections == 2
+
+    def test_track_allocation_is_stable(self):
+        compiler = Compiler()
+        t1 = compiler.track(x)
+        t2 = compiler.track(X)
+        assert compiler.track(x) == t1
+        assert t1 != t2
+        assert compiler.tracks() == {x: t1, X: t2}
+
+    def test_minimize_during_off_still_correct(self):
+        f = F.and_(F.mem(x, X), F.not_(F.mem(x, Y)))
+        fast = Compiler(minimize_during=False)
+        dfa = fast.compile(f)
+        slow = Compiler()
+        reference = slow.compile(f)
+        # languages agree on sample words even if sizes differ
+        for n in range(4):
+            for env in _assignments(sorted(f.free_vars(),
+                                           key=lambda v: v.name), n):
+                word_a = word_for(n, env, fast.tracks())
+                word_b = word_for(n, env, slow.tracks())
+                assert dfa.accepts(word_a) == reference.accepts(word_b)

@@ -1,0 +1,121 @@
+"""Property-based differential testing of the M2L compiler.
+
+Hypothesis generates random formulas over a small fixed variable pool;
+each compiles to an automaton whose language is compared against the
+brute-force evaluator on every string up to length 3 and every
+assignment of the free variables.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mso import ast
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.mso.interp import evaluate, word_for
+
+# Free variable pool (never bound by generated quantifiers).
+FO = [ast.Var.first(name) for name in ("u", "v")]
+SO = [ast.Var.second(name) for name in ("A", "B")]
+
+
+def _atoms():
+    fo = st.sampled_from(FO)
+    so = st.sampled_from(SO)
+    return st.one_of(
+        st.tuples(fo, so).map(lambda t: F.mem(*t)),
+        st.tuples(so, so).map(lambda t: F.sub(*t)),
+        st.tuples(so, so).map(lambda t: F.eq_set(*t)),
+        st.tuples(fo, fo).map(lambda t: F.less(*t)),
+        st.tuples(fo, fo).map(lambda t: F.eq_pos(*t)),
+        st.tuples(fo, fo).map(lambda t: F.succ(*t)),
+        fo.map(F.first),
+        fo.map(F.last),
+        so.map(F.empty),
+        so.map(F.singleton),
+        st.just(ast.TRUE),
+    )
+
+
+def _quantify(child, kind):
+    """Wrap a formula in a quantifier over a fresh variable that
+    replaces one free-pool variable inside (soundly: we just relate the
+    fresh var to the pool with an extra atom)."""
+    if kind in ("ex1", "all1"):
+        fresh = ast.Var.fresh("b", ast.VarKind.FIRST)
+        body = F.and_(child, F.leq(fresh, fresh))
+        link = F.or_(F.mem(fresh, SO[0]), F.eq_pos(fresh, FO[0]))
+        body = F.and_(body, link) if kind == "ex1" else \
+            F.implies(link, child)
+        return ast.Ex1(fresh, body) if kind == "ex1" \
+            else ast.All1(fresh, body)
+    fresh = ast.Var.fresh("S", ast.VarKind.SECOND)
+    link = F.sub(fresh, SO[1])
+    if kind == "ex2":
+        return ast.Ex2(fresh, F.and_(link, child))
+    return ast.All2(fresh, F.implies(link, child))
+
+
+def _formulas():
+    return st.recursive(
+        _atoms(),
+        lambda children: st.one_of(
+            st.tuples(children, children).map(
+                lambda t: F.and_(t[0], t[1])),
+            st.tuples(children, children).map(
+                lambda t: F.or_(t[0], t[1])),
+            st.tuples(children, children).map(
+                lambda t: F.implies(t[0], t[1])),
+            children.map(F.not_),
+            st.tuples(children,
+                      st.sampled_from(["ex1", "all1", "ex2", "all2"])).map(
+                lambda t: _quantify(t[0], t[1])),
+        ),
+        max_leaves=5)
+
+
+def _assignments(free, n):
+    fo = [v for v in free if v.kind is ast.VarKind.FIRST]
+    so = [v for v in free if v.kind is ast.VarKind.SECOND]
+    positions = list(range(n))
+    subsets = [frozenset(c) for size in range(n + 1)
+               for c in itertools.combinations(positions, size)]
+    for fo_values in itertools.product(positions, repeat=len(fo)):
+        for so_values in itertools.product(subsets, repeat=len(so)):
+            env = dict(zip(fo, fo_values))
+            env.update(zip(so, so_values))
+            yield env
+
+
+@settings(max_examples=120, deadline=None)
+@given(_formulas())
+def test_compiler_matches_bruteforce(formula):
+    compiler = Compiler()
+    dfa = compiler.compile(formula)
+    tracks = compiler.tracks()
+    free = sorted(formula.free_vars(), key=lambda v: v.name)
+    for n in range(4):
+        if n == 0 and any(v.kind is ast.VarKind.FIRST for v in free):
+            continue  # no position to assign on the empty string
+        for env in _assignments(free, n):
+            expected = evaluate(formula, n, env)
+            got = dfa.accepts(word_for(n, env, tracks))
+            assert expected == got, (str(formula), n, env)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_formulas())
+def test_negation_flips_language(formula):
+    compiler = Compiler()
+    dfa = compiler.compile(formula)
+    negated = Compiler()
+    ndfa = negated.compile(F.not_(formula))
+    free = sorted(formula.free_vars(), key=lambda v: v.name)
+    for n in range(3):
+        if n == 0 and any(v.kind is ast.VarKind.FIRST for v in free):
+            continue
+        for env in _assignments(free, n):
+            a = dfa.accepts(word_for(n, env, compiler.tracks()))
+            b = ndfa.accepts(word_for(n, env, negated.tracks()))
+            assert a != b

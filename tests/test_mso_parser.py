@@ -1,0 +1,138 @@
+"""Tests for the Mona-like M2L concrete syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mso import ast
+from repro.mso.compile import Compiler
+from repro.mso.parser import parse_m2l
+
+
+def valid(text):
+    formula, _ = parse_m2l(text)
+    return Compiler().is_valid(formula)
+
+
+class TestAtoms:
+    def test_membership(self):
+        formula, free = parse_m2l("p in X")
+        assert isinstance(formula, ast.Mem)
+        assert free["p"].kind is ast.VarKind.FIRST
+        assert free["X"].kind is ast.VarKind.SECOND
+
+    def test_subset(self):
+        formula, _ = parse_m2l("X sub Y")
+        assert isinstance(formula, ast.Sub)
+
+    def test_orders(self):
+        assert isinstance(parse_m2l("p < q")[0], ast.LessF)
+        assert isinstance(parse_m2l("p <= q")[0], ast.Or)
+
+    def test_successor(self):
+        formula, free = parse_m2l("q = p + 1")
+        assert isinstance(formula, ast.SuccF)
+        assert formula.left is free["p"]
+        assert formula.right is free["q"]
+
+    def test_endpoints(self):
+        assert isinstance(parse_m2l("p = 0")[0], ast.FirstF)
+        assert isinstance(parse_m2l("p = $")[0], ast.LastF)
+
+    def test_equalities(self):
+        assert isinstance(parse_m2l("p = q")[0], ast.EqF)
+        assert isinstance(parse_m2l("X = Y")[0], ast.EqS)
+
+    def test_set_functions(self):
+        assert isinstance(parse_m2l("empty(X)")[0], ast.EmptyS)
+        assert isinstance(parse_m2l("singleton(X)")[0], ast.SingletonS)
+
+    def test_constants(self):
+        assert parse_m2l("true")[0] is ast.TRUE
+        assert parse_m2l("false")[0] is ast.FALSE
+
+
+class TestStructure:
+    def test_precedence(self):
+        formula, _ = parse_m2l("p in X & p in Y | p in Z")
+        assert isinstance(formula, ast.Or)
+        assert isinstance(formula.left, ast.And)
+
+    def test_implication_right_assoc(self):
+        formula, _ = parse_m2l("p in X => p in Y => p in Z")
+        assert isinstance(formula, ast.Implies)
+        assert isinstance(formula.right, ast.Implies)
+
+    def test_negation_and_parens(self):
+        formula, _ = parse_m2l("~(p in X | p in Y)")
+        assert isinstance(formula, ast.Not)
+        assert isinstance(formula.inner, ast.Or)
+
+    def test_quantifiers_bind_fresh_vars(self):
+        formula, free = parse_m2l("ex1 p: p in X")
+        assert isinstance(formula, ast.Ex1)
+        assert "p" not in free  # bound, not free
+        assert "X" in free
+
+    def test_multi_binder(self):
+        formula, _ = parse_m2l("all1 a, b: a in X => b in X")
+        assert isinstance(formula, ast.All1)
+        assert isinstance(formula.body, ast.All1)
+
+    def test_shadowing(self):
+        formula, free = parse_m2l("p in X & (ex1 p: p = 0)")
+        inner = formula.right
+        assert isinstance(inner, ast.Ex1)
+        assert inner.var is not free["p"]
+
+    def test_shared_free_environment(self):
+        first, free = parse_m2l("p in X")
+        second, free = parse_m2l("p = 0", free)
+        assert second.pos is first.pos
+
+
+class TestErrors:
+    def test_case_convention_enforced_in_binders(self):
+        with pytest.raises(ParseError):
+            parse_m2l("ex1 P: true")
+        with pytest.raises(ParseError):
+            parse_m2l("ex2 s: true")
+
+    def test_kind_clash(self):
+        with pytest.raises(ParseError):
+            parse_m2l("p in X & X in Y")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_m2l("p in X q")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_m2l("p # q")
+
+    def test_missing_relation(self):
+        with pytest.raises(ParseError):
+            parse_m2l("p q")
+
+
+class TestSemantics:
+    """Parsed formulas feed the compiler and decide correctly."""
+
+    def test_transitivity(self):
+        assert valid("a < b & b < c => a < c")
+
+    def test_first_position_unique(self):
+        assert valid("a = 0 & b = 0 => a = b")
+
+    def test_induction(self):
+        assert valid(
+            "(ex1 z: z = 0 & z in X) "
+            "& (all1 a, b: a in X & b = a + 1 => b in X) "
+            "=> (ex1 l: l = $ & l in X)")
+
+    def test_not_valid(self):
+        assert not valid("a < b")
+
+    def test_second_order_reachability(self):
+        assert valid(
+            "a <= b <=> (all2 S: (a in S & "
+            "(all1 u, v: u in S & v = u + 1 => v in S)) => b in S)")

@@ -1,0 +1,138 @@
+"""Multi-loop programs: sequential loops, nested loops, and the
+double-reverse identity."""
+
+import pytest
+
+from repro.exec.interpreter import Interpreter
+from repro.pascal import check_program, parse_program
+from repro.stores import Store
+from repro.verify import verify_source
+
+DOUBLE_REVERSE = """
+program doublerev;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x, y, z: List;
+{pointer} var p: List;
+begin
+  {y = nil & z = nil}
+  while x <> nil do
+    {z = nil}
+    begin
+    p := x^.next;
+    x^.next := y;
+    y := x;
+    x := p
+  end
+  {x = nil & z = nil}
+  while y <> nil do
+    {x = nil}
+    begin
+    p := y^.next;
+    y^.next := z;
+    z := y;
+    y := p
+  end
+  {x = nil & y = nil}
+end.
+"""
+
+
+class TestDoubleReverse:
+    def test_verifies(self):
+        result = verify_source(DOUBLE_REVERSE)
+        assert result.valid
+        # two loops -> entry/preservation per loop + mid assertion +
+        # final postcondition
+        assert len(result.results) >= 5
+
+    def test_identity_concretely(self):
+        program = check_program(parse_program(DOUBLE_REVERSE))
+        store = Store(program.schema)
+        store.make_list("x", ["red", "blue", "blue", "red"])
+        Interpreter(program).run(store)
+        variants = [store.cell(i).variant for i in store.list_of("z")]
+        assert variants == ["red", "blue", "blue", "red"]
+        assert store.is_well_formed()
+
+
+NESTED = """
+program nested;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {true}
+  p := x;
+  while p <> nil do begin
+    q := x;
+    while q <> nil do
+      {x<next*>p & p <> nil}
+      q := q^.next;
+    p := p^.next
+  end
+  {p = nil}
+end.
+"""
+
+
+class TestNestedLoops:
+    def test_nested_traversal_verifies(self):
+        result = verify_source(NESTED)
+        assert result.valid
+
+    def test_five_subgoals(self):
+        from repro.verify import Verifier
+        program = check_program(parse_program(NESTED))
+        assert len(Verifier(program).collect_subgoals()) == 5
+
+    def test_concrete_quadratic_walk(self):
+        program = check_program(parse_program(NESTED))
+        store = Store(program.schema)
+        store.make_list("x", ["red", "red", "blue"])
+        Interpreter(program).run(store)
+        assert store.var("p") == 0
+
+
+THREE_PHASES = """
+program phases;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {q = nil}
+  p := x;
+  while p <> nil do {q = nil} p := p^.next
+  {p = nil & q = nil}
+  p := x;
+  while p <> nil do
+    {q = nil | q^.next = p}
+    begin q := p; p := p^.next end
+  {p = nil & (q = nil | q^.next = nil)}
+  while q <> nil do {p = nil} q := nil
+  {p = nil & q = nil}
+end.
+"""
+
+
+class TestSequentialLoops:
+    def test_three_loops_verify(self):
+        result = verify_source(THREE_PHASES)
+        assert result.valid
+        assert len(result.results) == 3 * 2 + 3  # 2 per loop + cuts
+
+    def test_descriptions_are_ordered(self):
+        from repro.verify import Verifier
+        program = check_program(parse_program(THREE_PHASES))
+        descriptions = [s.description
+                        for s in Verifier(program).collect_subgoals()]
+        entries = [d for d in descriptions if "loop entry" in d]
+        assert len(entries) == 3

@@ -1,0 +1,158 @@
+"""Tests with several record types and richer enums.
+
+The paper's examples use one record type with two variants; the
+implementation is generic over the schema, and these tests pin that
+down: multiple record types, cross-type type errors, enums with more
+than two constants, and variants without pointer fields.
+"""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.exec.interpreter import Interpreter
+from repro.pascal import check_program, parse_program
+from repro.stores import Store
+from repro.verify import verify_source
+
+TWO_TYPES = """
+program twotypes;
+type
+  Color = (red, blue);
+  Shade = (light, dark);
+  IList = ^Item;
+  JList = ^Joint;
+  Item = record case tag: Color of red, blue: (next: IList) end;
+  Joint = record case tone: Shade of light, dark: (link: JList) end;
+{data} var x: IList; y: JList;
+{pointer} var p: IList; q: JList;
+begin
+  {true}
+  p := x;
+  q := y;
+  if q <> nil then q := q^.link
+  {true}
+end.
+"""
+
+
+class TestTwoRecordTypes:
+    def test_checks_and_verifies(self):
+        result = verify_source(TWO_TYPES)
+        assert result.valid
+
+    def test_schema_contents(self):
+        program = check_program(parse_program(TWO_TYPES))
+        schema = program.schema
+        assert set(schema.records) == {"Item", "Joint"}
+        assert schema.variant_labels() == [
+            ("Item", "red"), ("Item", "blue"),
+            ("Joint", "light"), ("Joint", "dark")]
+        assert schema.data_vars == {"x": "Item", "y": "Joint"}
+
+    def test_cross_type_assignment_rejected(self):
+        bad = TWO_TYPES.replace("p := x;", "p := y;")
+        with pytest.raises(TypeError_):
+            check_program(parse_program(bad))
+
+    def test_cross_type_comparison_rejected(self):
+        bad = TWO_TYPES.replace("q := y;", "q := y; if p = q then p := x;")
+        with pytest.raises(TypeError_):
+            check_program(parse_program(bad))
+
+    def test_wrong_field_rejected(self):
+        bad = TWO_TYPES.replace("q := q^.link", "q := q^.next")
+        with pytest.raises(TypeError_):
+            check_program(parse_program(bad))
+
+    def test_variant_of_other_type_rejected(self):
+        bad = TWO_TYPES.replace("p := x;", "new(p, light);")
+        with pytest.raises(TypeError_):
+            check_program(parse_program(bad))
+
+    def test_concrete_execution(self):
+        program = check_program(parse_program(TWO_TYPES))
+        store = Store(program.schema)
+        store.make_list("x", ["red"])
+        store.make_list("y", ["dark", "light"])
+        Interpreter(program).run(store)
+        assert store.is_well_formed()
+        assert store.cell(store.var("q")).variant == "light"
+
+    def test_verifier_separates_the_heaps(self):
+        """A Joint cell can never be reached from x: the verifier
+        proves type segregation as a free theorem of wf."""
+        source = TWO_TYPES.replace(
+            "  {true}\nend.",
+            "  {all c: x<next*>c => "
+            "~(<(Joint:light)?>c | <(Joint:dark)?>c)}\nend.")
+        assert verify_source(source).valid
+
+
+THREE_COLORS = """
+program tricolor;
+type
+  Color = (red, green, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, green, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p: List;
+begin
+  {<(List:red)?>x & ~(ex g: <garb?>g) & p = nil}
+  p := x^.next;
+  dispose(x, red);
+  new(x, green);
+  x^.next := p;
+  p := nil
+  {<(List:green)?>x}
+end.
+"""
+
+
+class TestThreeConstantEnum:
+    def test_verifies(self):
+        assert verify_source(THREE_COLORS).valid
+
+    def test_labels(self):
+        program = check_program(parse_program(THREE_COLORS))
+        assert program.schema.enums["Color"] == ("red", "green", "blue")
+        assert len(program.schema.variant_labels()) == 3
+
+
+MIXED_VARIANTS = """
+program mixed;
+type
+  Kind = (cons, leaf);
+  P = ^Node;
+  Node = record case tag: Kind of
+    cons: (next: P);
+    leaf: ()
+  end;
+{data} var x: P;
+{pointer} var p: P;
+begin
+  {true}
+  p := x;
+  while p <> nil and p^.tag = cons do
+    p := p^.next
+  {p = nil | <(P:leaf)?>p}
+end.
+"""
+
+
+class TestTerminatorVariants:
+    def test_walk_to_leaf_verifies(self):
+        assert verify_source(MIXED_VARIANTS).valid
+
+    def test_leaf_deref_is_error(self):
+        bad = MIXED_VARIANTS.replace(
+            "while p <> nil and p^.tag = cons do\n    p := p^.next",
+            "while p <> nil do\n    p := p^.next")
+        result = verify_source(bad)
+        assert not result.valid  # dereferencing a leaf's missing field
+
+    def test_concrete_leaf_terminated_list(self):
+        program = check_program(parse_program(MIXED_VARIANTS))
+        store = Store(program.schema)
+        store.make_list("x", ["cons", "cons", "leaf"])
+        Interpreter(program).run(store)
+        assert store.cell(store.var("p")).variant == "leaf"

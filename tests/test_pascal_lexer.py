@@ -1,0 +1,107 @@
+"""Tests for the Pascal tokeniser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pascal.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("BEGIN End wHiLe")
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+        assert values("BEGIN End wHiLe") == ["begin", "end", "while"]
+
+    def test_identifiers_keep_spelling(self):
+        tokens = tokenize("Foo bar_Baz x1")
+        assert [t.value for t in tokens[:-1]] == ["Foo", "bar_Baz", "x1"]
+        assert all(t.kind is TokenKind.IDENT for t in tokens[:-1])
+
+    def test_symbols(self):
+        text = ":= : ; , . ^ ( ) = <>"
+        expected = [TokenKind.ASSIGN, TokenKind.COLON, TokenKind.SEMI,
+                    TokenKind.COMMA, TokenKind.DOT, TokenKind.CARET,
+                    TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.EQ,
+                    TokenKind.NEQ, TokenKind.EOF]
+        assert kinds(text) == expected
+
+    def test_assign_vs_colon(self):
+        assert kinds("x := y")[1] is TokenKind.ASSIGN
+        assert kinds("x : y")[1] is TokenKind.COLON
+
+    def test_neq_vs_eq(self):
+        assert kinds("a <> b")[1] is TokenKind.NEQ
+
+    def test_pointer_traversal(self):
+        assert kinds("p^.next")[:3] == [TokenKind.IDENT, TokenKind.CARET,
+                                        TokenKind.DOT]
+
+
+class TestAnnotationsAndComments:
+    def test_annotation_token(self):
+        tokens = tokenize("{x = nil}")
+        assert tokens[0].kind is TokenKind.ANNOTATION
+        assert tokens[0].value == "x = nil"
+
+    def test_annotation_strips_whitespace(self):
+        assert tokenize("{  data  }")[0].value == "data"
+
+    def test_comment_skipped(self):
+        assert kinds("(* a comment *) x") == [TokenKind.IDENT,
+                                              TokenKind.EOF]
+
+    def test_multiline_comment(self):
+        text = "(* line one\nline two *) begin"
+        tokens = tokenize(text)
+        assert tokens[0].is_keyword("begin")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("(* oops")
+
+    def test_unterminated_annotation(self):
+        with pytest.raises(ParseError):
+            tokenize("{ oops")
+
+    def test_annotation_keeps_inner_operators(self):
+        token = tokenize("{x<next*>p & p^.next = nil}")[0]
+        assert token.value == "x<next*>p & p^.next = nil"
+
+
+class TestLocations:
+    def test_line_and_column(self):
+        tokens = tokenize("begin\n  x := nil\nend")
+        x_token = tokens[1]
+        assert (x_token.line, x_token.column) == (2, 3)
+        end_token = tokens[-2]
+        assert end_token.line == 3
+
+    def test_bad_character_reports_location(self):
+        with pytest.raises(ParseError) as exc:
+            tokenize("x @ y")
+        assert exc.value.line == 1
+        assert exc.value.column == 3
+
+    def test_str_of_tokens(self):
+        assert str(tokenize("begin")[0]) == "begin"
+        assert str(tokenize("{inv}")[0]) == "{inv}"
+        assert str(tokenize(";")[0]) == ";"
+
+    def test_is_keyword_helper(self):
+        token = tokenize("while")[0]
+        assert token.is_keyword("while")
+        assert not token.is_keyword("do")
+        assert not tokenize("foo")[0].is_keyword("foo")

@@ -1,0 +1,237 @@
+"""Tests for the Pascal parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.pascal import ast, parse_program
+
+from util import wrap_program
+
+TYPES = """
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+"""
+
+
+def parse_body(body, pre="", post=""):
+    return parse_program(wrap_program(body, pre=pre, post=post))
+
+
+class TestDeclarations:
+    def test_enum(self):
+        program = parse_program(
+            f"program t; {TYPES} begin end.")
+        assert program.enums == [ast.EnumDecl("Color", ("red", "blue"))]
+
+    def test_pointer_type(self):
+        program = parse_program(f"program t; {TYPES} begin end.")
+        assert program.pointers == [ast.PointerDecl("List", "Item")]
+
+    def test_record_with_shared_arm(self):
+        program = parse_program(f"program t; {TYPES} begin end.")
+        record = program.records[0]
+        assert record.name == "Item"
+        assert record.tag_field == "tag"
+        assert record.tag_type == "Color"
+        assert record.arms[0].tags == ("red", "blue")
+        assert record.arms[0].fields == (ast.FieldDecl("next", "List"),)
+
+    def test_record_with_multiple_arms_and_empty_fields(self):
+        source = """
+        program t;
+        type
+          Kind = (cons, leaf);
+          P = ^Node;
+          Node = record case tag: Kind of
+            cons: (next: P);
+            leaf: ()
+          end;
+        begin end.
+        """
+        program = parse_program(source)
+        record = program.records[0]
+        assert len(record.arms) == 2
+        assert record.arms[1].fields == ()
+
+    def test_var_sections_with_classification(self):
+        program = parse_program(f"""
+        program t; {TYPES}
+        {{data}} var x, y: List;
+        {{pointer}} var p: List;
+        begin end.
+        """)
+        assert program.var_decls[0].names == ("x", "y")
+        assert program.var_decls[0].classification == "data"
+        assert program.var_decls[1].classification == "pointer"
+
+    def test_unannotated_var_section(self):
+        program = parse_program(f"""
+        program t; {TYPES}
+        var x: List;
+        begin end.
+        """)
+        assert program.var_decls[0].classification is None
+
+    def test_bad_classification(self):
+        with pytest.raises(ParseError):
+            parse_program(f"""
+            program t; {TYPES}
+            {{weird}} var x: List;
+            begin end.
+            """)
+
+    def test_var_continuation_lines(self):
+        program = parse_program(f"""
+        program t; {TYPES}
+        {{data}} var x: List;
+                     y: List;
+        begin end.
+        """)
+        assert len(program.var_decls) == 2
+        assert program.var_decls[1].classification == "data"
+
+
+class TestStatements:
+    def test_assignment(self):
+        program = parse_body("  x := p")
+        assert program.body == [ast.Assign(ast.Path("x"), ast.Path("p"),
+                                           program.body[0].line)]
+
+    def test_assignment_nil(self):
+        program = parse_body("  x := nil")
+        assert isinstance(program.body[0].rhs, ast.NilExpr)
+
+    def test_traversal_paths(self):
+        program = parse_body("  p^.next^.next := q^.next")
+        assign = program.body[0]
+        assert assign.lhs == ast.Path("p", ("next", "next"))
+        assert assign.rhs == ast.Path("q", ("next",))
+
+    def test_new_and_dispose(self):
+        program = parse_body("  new(p, red);\n  dispose(q, blue)")
+        assert program.body[0] == ast.New(ast.Path("p"), "red",
+                                          program.body[0].line)
+        assert program.body[1] == ast.Dispose(ast.Path("q"), "blue",
+                                              program.body[1].line)
+
+    def test_new_with_field_target(self):
+        program = parse_body("  new(p^.next, red)")
+        assert program.body[0].lhs == ast.Path("p", ("next",))
+
+    def test_blocks_flatten(self):
+        program = parse_body("  begin x := nil; y := nil end")
+        assert len(program.body) == 2
+
+    def test_if_then(self):
+        program = parse_body("  if x = nil then x := p")
+        statement = program.body[0]
+        assert isinstance(statement, ast.If)
+        assert statement.else_body == ()
+
+    def test_if_then_else(self):
+        program = parse_body(
+            "  if x = nil then x := p else begin y := p; x := nil end")
+        statement = program.body[0]
+        assert len(statement.then_body) == 1
+        assert len(statement.else_body) == 2
+
+    def test_dangling_else_binds_inner(self):
+        program = parse_body(
+            "  if x = nil then if y = nil then x := p else y := p")
+        outer = program.body[0]
+        assert outer.else_body == ()
+        inner = outer.then_body[0]
+        assert len(inner.else_body) == 1
+
+    def test_while_with_invariant(self):
+        program = parse_body(
+            "  while x <> nil do {x = x} x := x^.next")
+        loop = program.body[0]
+        assert isinstance(loop, ast.While)
+        assert loop.invariant.text == "x = x"
+        assert len(loop.body) == 1
+
+    def test_while_without_invariant(self):
+        program = parse_body("  while x <> nil do x := x^.next")
+        assert program.body[0].invariant is None
+
+    def test_empty_statements_allowed(self):
+        program = parse_body("  x := nil;;\n  ;y := nil;")
+        assert len(program.body) == 2
+
+    def test_cut_point_assertion(self):
+        program = parse_body("  x := nil\n  {x = nil}\n  y := nil")
+        assert isinstance(program.body[1], ast.AssertStmt)
+        assert program.body[1].annotation.text == "x = nil"
+
+
+class TestGuards:
+    def test_precedence_and_or_not(self):
+        program = parse_body(
+            "  if not x = nil and y = nil or p = q then x := nil")
+        guard = program.body[0].cond
+        # or at top, and below, not innermost
+        assert isinstance(guard, ast.BoolOp) and guard.op == "or"
+        assert isinstance(guard.left, ast.BoolOp) and \
+            guard.left.op == "and"
+        assert isinstance(guard.left.left, ast.BoolNot)
+
+    def test_parenthesised_guard(self):
+        program = parse_body(
+            "  if x = nil and (y = nil or p = q) then x := nil")
+        guard = program.body[0].cond
+        assert guard.op == "and"
+        assert guard.right.op == "or"
+
+    def test_variant_test_shape(self):
+        program = parse_body("  if p^.tag = red then x := nil")
+        compare = program.body[0].cond
+        assert compare.left == ast.Path("p", ("tag",))
+        assert compare.right == ast.Path("red")
+
+    def test_relation_requires_operator(self):
+        with pytest.raises(ParseError):
+            parse_body("  if x then x := nil")
+
+
+class TestPrePost:
+    def test_pre_and_post_extracted(self):
+        program = parse_body("  x := nil", pre="y = nil", post="x = nil")
+        assert program.pre.text == "y = nil"
+        assert program.post.text == "x = nil"
+        assert len(program.body) == 1
+
+    def test_missing_pre_post(self):
+        program = parse_body("  x := nil")
+        assert program.pre is None
+        assert program.post is None
+
+    def test_post_after_loop_end(self):
+        program = parse_body(
+            "  while x <> nil do begin x := x^.next end", post="x = nil")
+        assert program.post.text == "x = nil"
+
+
+class TestErrors:
+    def test_missing_program_keyword(self):
+        with pytest.raises(ParseError):
+            parse_program("begin end.")
+
+    def test_missing_final_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("program t; begin end")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("program t; begin end. extra")
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(ParseError):
+            parse_body("  x := nil y := nil")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_program("program t; begin x := ; end.")
+        assert exc.value.line >= 1

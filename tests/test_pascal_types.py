@@ -1,0 +1,243 @@
+"""Tests for the type checker and the typed IR it produces."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.pascal import check_program, parse_program
+from repro.pascal import typed
+
+from util import wrap_program
+
+TYPES = """
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+"""
+
+
+def check_body(body, pre="", post=""):
+    return check_program(parse_program(wrap_program(body, pre=pre,
+                                                    post=post)))
+
+
+def check_source(source):
+    return check_program(parse_program(source))
+
+
+class TestSchemaConstruction:
+    def test_schema_contents(self):
+        program = check_body("  x := nil")
+        schema = program.schema
+        assert schema.enums == {"Color": ("red", "blue")}
+        assert schema.data_vars == {"x": "Item", "y": "Item"}
+        assert schema.pointer_vars == {"p": "Item", "q": "Item"}
+        assert schema.pointer_aliases == {"List": "Item"}
+        record = schema.records["Item"]
+        assert record.variants["red"].name == "next"
+        assert record.variants["red"].target == "Item"
+
+    def test_terminator_variant(self):
+        program = check_source("""
+        program t;
+        type
+          Kind = (cons, leaf);
+          P = ^Node;
+          Node = record case tag: Kind of
+            cons: (next: P); leaf: ()
+          end;
+        {data} var x: P;
+        begin end.
+        """)
+        assert program.schema.records["Node"].variants["leaf"] is None
+
+
+class TestDeclarationErrors:
+    def test_unannotated_vars_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(f"program t; {TYPES} var x: List; begin end.")
+
+    def test_non_pointer_var_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source(f"program t; {TYPES} "
+                         f"{{data}} var c: Color; begin end.")
+
+    def test_duplicate_variable(self):
+        with pytest.raises(TypeError_):
+            check_source(f"program t; {TYPES} "
+                         f"{{data}} var x, x: List; begin end.")
+
+    def test_variable_shadowing_enum_constant(self):
+        with pytest.raises(TypeError_):
+            check_source(f"program t; {TYPES} "
+                         f"{{data}} var red: List; begin end.")
+
+    def test_two_pointer_fields_rejected(self):
+        with pytest.raises(TypeError_) as exc:
+            check_source("""
+            program t;
+            type
+              K = (a);
+              P = ^R;
+              R = record case tag: K of a: (one: P; two: P) end;
+            {data} var x: P;
+            begin end.
+            """)
+        assert "linear lists" in str(exc.value)
+
+    def test_unknown_variant_in_record(self):
+        with pytest.raises(TypeError_):
+            check_source("""
+            program t;
+            type
+              K = (a);
+              P = ^R;
+              R = record case tag: K of b: (next: P) end;
+            {data} var x: P;
+            begin end.
+            """)
+
+    def test_non_pointer_field_rejected(self):
+        with pytest.raises(TypeError_):
+            check_source("""
+            program t;
+            type
+              K = (a);
+              P = ^R;
+              R = record case tag: K of a: (c: K) end;
+            {data} var x: P;
+            begin end.
+            """)
+
+    def test_pointer_to_unknown_record(self):
+        with pytest.raises(TypeError_):
+            check_source("""
+            program t;
+            type
+              K = (a);
+              P = ^Nothing;
+            {data} var x: P;
+            begin end.
+            """)
+
+
+class TestStatements:
+    def test_var_assign(self):
+        program = check_body("  x := p")
+        statement = program.body[0]
+        assert isinstance(statement, typed.TAssign)
+        assert statement.lhs == typed.VarLhs("x", "Item")
+        assert statement.rhs.var == "p"
+
+    def test_field_assign(self):
+        program = check_body("  p^.next := q")
+        lhs = program.body[0].lhs
+        assert isinstance(lhs, typed.FieldLhs)
+        assert lhs.field == "next"
+        assert lhs.target_type == "Item"
+        assert str(lhs) == "p^.next"
+
+    def test_deep_path(self):
+        program = check_body("  p := q^.next^.next")
+        rhs = program.body[0].rhs
+        assert rhs.steps == (("next", "Item"), ("next", "Item"))
+        assert rhs.final_type == "Item"
+
+    def test_new_variants(self):
+        program = check_body("  new(p, red)")
+        statement = program.body[0]
+        assert isinstance(statement, typed.TNew)
+        assert (statement.type_name, statement.variant) == ("Item", "red")
+
+    def test_new_unknown_variant(self):
+        with pytest.raises(TypeError_):
+            check_body("  new(p, green)")
+
+    def test_dispose_path(self):
+        program = check_body("  dispose(p^.next, blue)")
+        statement = program.body[0]
+        assert isinstance(statement, typed.TDispose)
+        assert statement.path.steps == (("next", "Item"),)
+
+    def test_unknown_variable(self):
+        with pytest.raises(TypeError_):
+            check_body("  z := nil")
+
+    def test_unknown_field(self):
+        with pytest.raises(TypeError_):
+            check_body("  p := q^.prev")
+
+    def test_tag_not_a_pointer_field(self):
+        with pytest.raises(TypeError_):
+            check_body("  p := q^.tag")
+
+    def test_enum_constant_as_pointer(self):
+        with pytest.raises(TypeError_):
+            check_body("  p := red")
+
+
+class TestGuards:
+    def test_ptr_compare(self):
+        program = check_body("  if p = q then p := nil")
+        guard = program.body[0].cond
+        assert isinstance(guard, typed.TPtrCompare)
+        assert not guard.negated
+
+    def test_nil_compare(self):
+        program = check_body("  if x <> nil then x := nil")
+        guard = program.body[0].cond
+        assert guard.left.var == "x"
+        assert guard.right is None
+        assert guard.negated
+
+    def test_variant_test(self):
+        program = check_body("  if p^.tag = red then p := nil")
+        guard = program.body[0].cond
+        assert isinstance(guard, typed.TVariantTest)
+        assert guard.cell.var == "p"
+        assert guard.variant == "red"
+
+    def test_variant_test_reversed_operands(self):
+        program = check_body("  if blue = p^.tag then p := nil")
+        guard = program.body[0].cond
+        assert isinstance(guard, typed.TVariantTest)
+        assert guard.variant == "blue"
+
+    def test_variant_test_through_path(self):
+        program = check_body("  if p^.next^.tag <> blue then p := nil")
+        guard = program.body[0].cond
+        assert guard.cell.steps == (("next", "Item"),)
+        assert guard.negated
+
+    def test_variant_test_wrong_enum(self):
+        with pytest.raises(TypeError_):
+            check_body("  if p^.tag = purple then p := nil")
+
+    def test_tag_vs_non_constant(self):
+        with pytest.raises(TypeError_):
+            check_body("  if p^.tag = q then p := nil")
+
+    def test_boolean_connectives(self):
+        program = check_body(
+            "  if not p = nil and q = nil or x = y then p := nil")
+        guard = program.body[0].cond
+        assert isinstance(guard, typed.TOr)
+        assert isinstance(guard.left, typed.TAnd)
+        assert isinstance(guard.left.left, typed.TNot)
+
+    def test_while_and_if_bodies_typed(self):
+        program = check_body(
+            "  while x <> nil do begin "
+            "    if x^.tag = red then x := x^.next else x := nil "
+            "  end")
+        loop = program.body[0]
+        assert isinstance(loop, typed.TWhile)
+        branch = loop.body[0]
+        assert isinstance(branch, typed.TIf)
+
+    def test_assertions_preserved(self):
+        program = check_body("  x := nil\n  {x = nil}\n  y := nil",
+                             pre="true", post="true")
+        assert program.pre.text == "true"
+        assert isinstance(program.body[1], typed.TAssertStmt)
+        assert program.statements() == program.body

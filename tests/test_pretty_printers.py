@@ -1,0 +1,136 @@
+"""Round-trip tests for the Pascal and store-logic pretty printers."""
+
+import pytest
+
+from repro.pascal import parse_program
+from repro.pascal.pretty import pretty_program
+from repro.programs import ALL_PROGRAMS
+from repro.storelogic import parse_formula
+from repro.storelogic.pretty import pretty_formula, pretty_route
+from repro.automata.render import render_transitions, to_dot
+
+from util import wrap_program
+
+
+class TestPascalPretty:
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_fixpoint_on_paper_programs(self, name):
+        source = ALL_PROGRAMS[name]
+        once = pretty_program(parse_program(source))
+        twice = pretty_program(parse_program(once))
+        assert once == twice
+
+    def test_preserves_annotations(self):
+        source = wrap_program(
+            "  x := nil\n  {x = nil}\n"
+            "  while y <> nil do {x = nil} y := y^.next",
+            pre="y = nil", post="x = nil")
+        printed = pretty_program(parse_program(source))
+        assert "{y = nil}" in printed
+        assert "{x = nil}" in printed
+        reparsed = parse_program(printed)
+        assert reparsed.pre.text == "y = nil"
+        assert reparsed.post.text == "x = nil"
+
+    def test_preserves_structure(self):
+        source = wrap_program(
+            "  if x = nil then begin p := nil end "
+            "else begin p := x; q := p end")
+        printed = pretty_program(parse_program(source))
+        reparsed = parse_program(printed)
+        branch = reparsed.body[0]
+        assert len(branch.then_body) == 1
+        assert len(branch.else_body) == 2
+
+    def test_record_declarations_roundtrip(self):
+        source = """
+        program t;
+        type
+          Kind = (cons, leaf);
+          P = ^Node;
+          Node = record case tag: Kind of
+            cons: (next: P); leaf: ()
+          end;
+        {data} var x: P;
+        begin x := nil end.
+        """
+        once = pretty_program(parse_program(source))
+        assert pretty_program(parse_program(once)) == once
+
+
+FORMULAS = [
+    "x = nil",
+    "p <> q",
+    "x<next*>p",
+    "x<next+>p",
+    "<garb?>g",
+    "x<next.(List:red)?.next>p",
+    "x<(next+(List:red)?)*>p",
+    "~(x = nil) & (p = q | p = nil)",
+    "x = nil => p = nil => q = nil",
+    "x = nil <=> p = nil",
+    "all c, d: c<next>d => ~<garb?>d",
+    "ex g: <garb?>g & (all r: <garb?>r => r = g)",
+    "true | false",
+    "p^.next^.next = nil",
+]
+
+
+class TestStoreLogicPretty:
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_fixpoint(self, text):
+        once = pretty_formula(parse_formula(text))
+        twice = pretty_formula(parse_formula(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("text", FORMULAS)
+    def test_structure_preserved(self, text):
+        formula = parse_formula(text)
+        reparsed = parse_formula(pretty_formula(formula))
+        assert reparsed == formula or \
+            pretty_formula(reparsed) == pretty_formula(formula)
+
+    def test_route_rendering(self):
+        formula = parse_formula("x<(next.next)*>p")
+        assert pretty_route(formula.route) == "(next.next)*"
+
+    def test_inequality_sugar_restored(self):
+        assert pretty_formula(parse_formula("p <> q")) == "p <> q"
+
+    def test_unary_route_sugar_restored(self):
+        assert pretty_formula(parse_formula("<garb?>g")) == "<garb?>g"
+
+
+class TestAutomatonRendering:
+    @pytest.fixture
+    def small_dfa(self):
+        from repro.mso import ast
+        from repro.mso.build import FormulaBuilder as F
+        from repro.mso.compile import Compiler
+        x = ast.Var.second("X")
+        compiler = Compiler()
+        dfa = compiler.compile(F.empty(x))
+        return dfa, compiler.tracks()
+
+    def test_render_transitions(self, small_dfa):
+        dfa, tracks = small_dfa
+        text = render_transitions(dfa, tracks)
+        assert "state 0>*" in text or "state 0*>" in text \
+            or "state 0" in text
+        assert "--[" in text
+        assert "X" in text
+
+    def test_to_dot(self, small_dfa):
+        dfa, tracks = small_dfa
+        dot = to_dot(dfa, tracks)
+        assert dot.startswith("digraph")
+        assert "doublecircle" in dot
+        assert "->" in dot
+
+    def test_guard_true_for_dont_care(self):
+        from repro.bdd import Mtbdd
+        from repro.automata.symbolic import SymbolicDfa
+        mgr = Mtbdd()
+        dfa = SymbolicDfa(mgr, 1, 0, frozenset([0]), [mgr.leaf(0)])
+        text = render_transitions(dfa)
+        assert "--[true]--> 0" in text

@@ -1,0 +1,150 @@
+"""Tests for (non-recursive) procedures — the paper's §2 note that
+"recursive procedures are easily accommodated" covers the mechanism:
+parameterless procedures over the globals, inlined at check time."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.pascal import ast, check_program, parse_program
+from repro.pascal.pretty import pretty_program
+from repro.pascal import typed
+from repro.exec.interpreter import Interpreter
+from repro.stores import Store
+from repro.verify import verify_source
+
+WITH_PROCS = """
+program procs;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x, y: List;
+{pointer} var p: List;
+procedure step;
+begin
+  p := x^.next;
+  x^.next := y;
+  y := x;
+  x := p
+end;
+begin
+  {y = nil}
+  while x <> nil do
+    step
+  {x = nil}
+end.
+"""
+
+
+class TestParsing:
+    def test_procedure_parsed(self):
+        program = parse_program(WITH_PROCS)
+        assert len(program.procedures) == 1
+        assert program.procedures[0].name == "step"
+        assert len(program.procedures[0].body) == 4
+
+    def test_call_parsed(self):
+        program = parse_program(WITH_PROCS)
+        loop = program.body[0]
+        assert loop.body == (ast.ProcCall("step", loop.body[0].line),)
+
+    def test_pretty_roundtrip(self):
+        once = pretty_program(parse_program(WITH_PROCS))
+        assert pretty_program(parse_program(once)) == once
+        assert "procedure step;" in once
+
+
+class TestInlining:
+    def test_call_splices_body(self):
+        program = check_program(parse_program(WITH_PROCS))
+        loop = program.body[0]
+        assert isinstance(loop, typed.TWhile)
+        assert len(loop.body) == 4
+        assert all(isinstance(s, typed.TAssign) for s in loop.body)
+
+    def test_nested_procedures(self):
+        source = WITH_PROCS.replace(
+            "begin\n  {y = nil}",
+            "procedure twice;\nbegin\n  step;\n  step\nend;\n"
+            "begin\n  {y = nil}").replace(
+            "  while x <> nil do\n    step", "  twice")
+        program = check_program(parse_program(source))
+        assert len(program.body) == 8  # two inlined copies of step
+
+    def test_unknown_procedure(self):
+        source = WITH_PROCS.replace("    step", "    missing")
+        with pytest.raises(TypeError_, match="unknown procedure"):
+            check_program(parse_program(source))
+
+    def test_recursion_rejected(self):
+        source = WITH_PROCS.replace(
+            "procedure step;\nbegin\n  p := x^.next;",
+            "procedure step;\nbegin\n  step;\n  p := x^.next;")
+        with pytest.raises(TypeError_, match="recursive"):
+            check_program(parse_program(source))
+
+    def test_mutual_recursion_rejected(self):
+        source = WITH_PROCS.replace(
+            "begin\n  {y = nil}",
+            "procedure other;\nbegin\n  step\nend;\n"
+            "begin\n  {y = nil}").replace(
+            "  p := x^.next;", "  other;\n  p := x^.next;")
+        with pytest.raises(TypeError_, match="recursive"):
+            check_program(parse_program(source))
+
+    def test_name_collision_with_variable(self):
+        source = WITH_PROCS.replace("procedure step;", "procedure x;") \
+            .replace("    step", "    x")
+        with pytest.raises(TypeError_, match="collides"):
+            check_program(parse_program(source))
+
+    def test_duplicate_procedure(self):
+        source = WITH_PROCS.replace(
+            "begin\n  {y = nil}",
+            "procedure step;\nbegin\n  p := nil\nend;\n"
+            "begin\n  {y = nil}")
+        with pytest.raises(TypeError_, match="twice"):
+            check_program(parse_program(source))
+
+    def test_body_is_type_checked(self):
+        source = WITH_PROCS.replace("p := x^.next;", "p := x^.prev;")
+        with pytest.raises(TypeError_):
+            check_program(parse_program(source))
+
+
+class TestSemantics:
+    def test_verifies_like_reverse(self):
+        result = verify_source(WITH_PROCS)
+        assert result.valid
+
+    def test_concrete_execution(self):
+        program = check_program(parse_program(WITH_PROCS))
+        store = Store(program.schema)
+        store.make_list("x", ["red", "blue"])
+        Interpreter(program).run(store)
+        variants = [store.cell(i).variant for i in store.list_of("y")]
+        assert variants == ["blue", "red"]
+
+    def test_procedures_with_assertions_inside(self):
+        source = """
+program cut;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p: List;
+procedure reset;
+begin
+  p := nil
+  {p = nil}
+end;
+begin
+  reset;
+  p := x
+  {p = x}
+end.
+"""
+        result = verify_source(source)
+        assert result.valid
+        assert len(result.results) == 2  # the inlined cut point splits

@@ -1,0 +1,203 @@
+"""Integration tests: the paper's example programs (§4–§5).
+
+These assert the headline reproduction claims: every program the paper
+verifies does verify, every program the paper rejects is rejected with
+the paper's counterexample (same length and shape), and the verified
+behavioural properties hold.
+"""
+
+import pytest
+
+from repro.exec.interpreter import Interpreter
+from repro.pascal import check_program, parse_program
+from repro.programs import (ALL_PROGRAMS, DELETE, FUMBLE, INSERT, REVERSE,
+                            ROTATE, SEARCH, SWAP, SWAP_FIXED, TRIPLE, ZIP)
+from repro.stores.encode import LABEL_LIM, LABEL_NIL
+from repro.stores.model import NIL_ID, Store
+from repro.verify import verify_source
+from repro.stores.render import render_symbols
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Verify every paper program once, cached for the module (the
+    extended corpus is covered by test_extended_corpus.py)."""
+    from repro.programs import EXTENDED_PROGRAMS
+    return {name: verify_source(source)
+            for name, source in ALL_PROGRAMS.items()
+            if name not in EXTENDED_PROGRAMS}
+
+
+VERIFIED = ["reverse", "rotate", "insert", "delete", "search", "zip",
+            "searchwf", "swapfix", "triple"]
+REJECTED = ["fumble", "swap"]
+
+
+@pytest.mark.parametrize("name", VERIFIED)
+def test_paper_program_verifies(results, name):
+    result = results[name]
+    assert result.valid, f"{name} should verify"
+
+
+@pytest.mark.parametrize("name", REJECTED)
+def test_faulty_program_rejected(results, name):
+    result = results[name]
+    assert not result.valid, f"{name} should fail"
+    assert result.counterexample is not None
+
+
+class TestCounterexampleShapes:
+    """§5's shortest counterexamples, up to label/bitmap tie-breaks."""
+
+    def test_fumble_counterexample(self, results):
+        ce = results["fumble"].counterexample
+        # paper: [nil,{p}] [(List:red),{}] [lim,{}] [lim,{}]
+        symbols = ce.symbols
+        assert len(symbols) == 4
+        assert symbols[0].label == LABEL_NIL
+        assert symbols[1].label[0] == "rec"
+        assert symbols[2].label == symbols[3].label == LABEL_LIM
+        assert "x" in symbols[1].bitmap          # singleton list x
+        assert "y" in symbols[0].bitmap          # precondition y = nil
+        assert "cyclic" in ce.explanation
+
+    def test_swap_counterexample(self, results):
+        ce = results["swap"].counterexample
+        # paper: [nil,{p}] [(List:red),{}] [lim,{}] — length one list
+        symbols = ce.symbols
+        assert len(symbols) == 3
+        assert symbols[0].label == LABEL_NIL
+        assert symbols[1].label[0] == "rec"
+        assert symbols[2].label == LABEL_LIM
+        assert "x" in symbols[1].bitmap
+        assert "dereference of nil" in ce.explanation
+
+    def test_swap_simulation_shows_the_failing_statement(self, results):
+        trace = results["swap"].counterexample.trace
+        assert trace is not None
+        assert trace.failure is not None
+        assert "p^.next := x^.next" in trace.render()
+
+
+class TestSubgoalStructure:
+    def test_reverse_subgoals(self, results):
+        descriptions = [r.description for r in results["reverse"].results]
+        assert len(descriptions) == 3
+
+    def test_triple_is_single_subgoal(self, results):
+        assert len(results["triple"].results) == 1
+
+    def test_statistics_populated(self, results):
+        for name in VERIFIED:
+            result = results[name]
+            assert result.max_states > 0
+            assert result.max_nodes > 0
+            assert result.formula_size > 0
+            assert result.seconds > 0
+
+
+class TestVerifiedBehaviour:
+    """Concrete spot-checks of what verification guarantees."""
+
+    def _run(self, source, build):
+        program = check_program(parse_program(source))
+        store = Store(program.schema)
+        build(store)
+        Interpreter(program).run(store)
+        assert store.is_well_formed(), store.violations()
+        return store
+
+    def test_reverse_reverses(self):
+        store = self._run(
+            REVERSE,
+            lambda s: s.make_list("x", ["red", "blue", "blue"]))
+        variants = [store.cell(i).variant for i in store.list_of("y")]
+        assert variants == ["blue", "blue", "red"]
+
+    def test_rotate_rotates(self):
+        def build(store):
+            ids = store.make_list("x", ["red", "blue", "red"])
+            store.set_var("p", ids[-1])
+        store = self._run(ROTATE, build)
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["blue", "red", "red"]
+
+    def test_insert_adds_red_after_p(self):
+        def build(store):
+            ids = store.make_list("x", ["blue", "blue"])
+            store.set_var("p", ids[0])
+            store.add_garbage()
+        store = self._run(INSERT, build)
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["blue", "red", "blue"]
+
+    def test_insert_into_empty_list(self):
+        def build(store):
+            store.add_garbage()
+        store = self._run(INSERT, build)
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["red"]
+
+    def test_delete_frees_exactly_one(self):
+        def build(store):
+            ids = store.make_list("x", ["red", "blue", "red"])
+            store.set_var("p", ids[0])
+        store = self._run(DELETE, build)
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["red", "red"]
+        assert len(store.garbage_ids()) == 1
+
+    def test_search_finds_first_blue(self):
+        def build(store):
+            store.make_list("x", ["red", "red", "blue", "blue"])
+        store = self._run(SEARCH, build)
+        assert store.cell(store.var("p")).variant == "blue"
+        assert store.var("p") == store.list_of("x")[2]
+
+    def test_search_returns_nil_when_no_blue(self):
+        store = self._run(SEARCH,
+                          lambda s: s.make_list("x", ["red", "red"]))
+        assert store.var("p") == NIL_ID
+
+    def test_zip_shuffles(self):
+        def build(store):
+            store.make_list("x", ["red", "red", "red"])
+            store.make_list("y", ["blue"])
+        store = self._run(ZIP, build)
+        variants = [store.cell(i).variant for i in store.list_of("z")]
+        assert variants == ["red", "blue", "red", "red"]
+        assert store.var("x") == NIL_ID
+        assert store.var("y") == NIL_ID
+
+    def test_triple_appends_blue(self):
+        def build(store):
+            ids = store.make_list("x", ["red"])
+            store.set_var("p", ids[0])
+            store.add_garbage()
+        store = self._run(TRIPLE, build)
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["red", "blue"]
+
+    def test_swap_fixed_swaps(self):
+        store = self._run(
+            SWAP_FIXED,
+            lambda s: s.make_list("x", ["red", "blue", "red"]))
+        variants = [store.cell(i).variant for i in store.list_of("x")]
+        assert variants == ["blue", "red", "red"]
+
+    def test_fumble_builds_cycle_concretely(self):
+        program = check_program(parse_program(FUMBLE))
+        store = Store(program.schema)
+        store.make_list("x", ["red"])
+        Interpreter(program).run(store)
+        assert not store.is_well_formed()
+
+    def test_swap_crashes_on_singleton(self):
+        from repro.errors import ExecutionError
+        program = check_program(parse_program(SWAP))
+        store = Store(program.schema)
+        store.make_list("x", ["red"])
+        with pytest.raises(ExecutionError):
+            Interpreter(program).run(store)

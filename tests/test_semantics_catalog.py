@@ -1,0 +1,128 @@
+"""A catalog of micro-triples pinning down the verifier's semantics.
+
+Each case is a tiny program with an expected verdict, covering the
+fine structure: aliasing, leaks, dangling references, dispose/new
+interactions and allocator determinism, guard short-circuiting,
+partial-term logic, the out-of-memory excuse, and the invariant
+method's (in)completeness.  Schema: data x, y; pointers p, q.
+"""
+
+import pytest
+
+from repro.verify import verify_source
+
+from util import wrap_program
+
+# (name, body, pre, post, expected_valid)
+CASES = [
+    # --- assignment and aliasing -----------------------------------
+    ("alias_chain",
+     "  p := x;\n  q := p", "", "p = q & p = x", True),
+    ("rebinding_data_var_leaks",
+     "  x := y;\n  y := nil", "y = nil", "x = nil", False),
+    ("second_cell_or_nil",
+     "  q := x^.next", "x <> nil", "x<next+>q | q = nil", True),
+    ("deep_read_stays_on_list",
+     "  p := x^.next^.next", "ex c: x^.next^.next = c",
+     "x<next*>p", True),
+    ("self_loop_is_cyclic",
+     "  x^.next := x", "x <> nil", "", False),
+    ("terminator_write_nop",
+     "  x^.next := nil", "x <> nil & x^.next = nil", "", True),
+    ("truncation_leaks_tail",
+     "  x^.next := nil", "x <> nil", "", False),
+    ("deep_write_nop",
+     "  p^.next^.next := nil", "p^.next^.next = nil", "", True),
+
+    # --- new / dispose ----------------------------------------------
+    ("fresh_cell_unclaimed",
+     "  new(p, red)", "", "", False),
+    ("fresh_cell_linked",
+     "  new(p, red);\n  p^.next := x;\n  x := p", "",
+     "<(List:red)?>x", True),
+    ("dispose_needs_variant_knowledge",
+     "  dispose(x, red);\n  x := nil", "x <> nil", "", False),
+    ("pop_head",
+     "  p := x^.next;\n  dispose(x, red);\n  x := p;\n"
+     "  p := nil;\n  q := nil",
+     "x <> nil & <(List:red)?>x", "", True),
+    ("double_dispose",
+     "  p := x;\n  dispose(x, red);\n  dispose(p, red)",
+     "<(List:red)?>x", "", False),
+    ("use_after_free",
+     "  p := x;\n  dispose(x, red);\n  q := p^.next",
+     "<(List:red)?>x", "", False),
+    # With no garbage anywhere, every pre-store is out of memory, so
+    # even `false` holds vacuously: the paper's alloc(S) assumption.
+    ("oom_is_excused",
+     "  new(p, red);\n  p^.next := x;\n  x := p",
+     "~(ex g: <garb?>g)", "false", True),
+    # The deterministic allocator hands dispose's cell straight back.
+    ("allocator_recycles",
+     "  new(p, red);\n  dispose(p, red);\n  new(q, blue);\n"
+     "  q^.next := x;\n  x := q",
+     "ex g: <garb?>g & (all r: <garb?>r => r = g)",
+     "<(List:blue)?>x & p = q", True),
+
+    # --- guards -------------------------------------------------------
+    ("conditional_merge",
+     "  if x = nil then p := nil else p := x", "",
+     "(x = nil => p = nil) & (x <> nil => p = x)", True),
+    ("and_short_circuits",
+     "  if x <> nil and x^.tag = red then p := x else p := nil",
+     "", "", True),
+    ("and_is_not_commutative_for_safety",
+     "  if x^.tag = red and x <> nil then p := x", "", "", False),
+    ("or_short_circuits",
+     "  if x = nil or x^.tag = red then p := nil", "", "", True),
+    ("not_guard",
+     "  if not x = nil then p := x else p := nil", "",
+     "x = nil <=> p = nil", True),
+    ("variant_dispatch_total",
+     "  if x^.tag = red then p := x else p := x", "x <> nil",
+     "p = x", True),
+
+    # --- routing and logic --------------------------------------------
+    ("plus_versus_star",
+     "", "x<next*>p & p <> nil", "x<next+>p | p = x", True),
+    ("two_steps_not_self",
+     "", "x<next.next>p", "x<next+>p & ~(p = x)", True),
+    ("edge_implies_nonempty_store",
+     "", "ex c, d: c<next>d & <(List:red)?>c & <(List:blue)?>d",
+     "~(x = nil & y = nil)", True),
+    ("garb_quantification",
+     "", "all c: <garb?>c => false", "~(ex g: <garb?>g)", True),
+    # Partial-term semantics: `<> nil` is vacuously true on an
+    # undefined path (see docs/TUTORIAL.md section 2).
+    ("neq_nil_is_vacuous_on_undefined",
+     "", "y = nil", "y^.next <> nil", True),
+    ("nil_equals_nil", "", "", "nil = nil", True),
+    ("undefined_atom_is_false", "", "", "nil^.next = nil", False),
+
+    # --- loops and the invariant method --------------------------------
+    # Sound but incomplete: preservation is checked from *every*
+    # invariant state, so without an invariant the unreachable
+    # x <> nil states leak the list and the proof fails...
+    ("invariant_method_incomplete",
+     "  while x <> nil do x := x^.next", "x = nil", "x = nil", False),
+    # ...while the obvious invariant closes it.
+    ("invariant_method_completed",
+     "  while x <> nil do {x = nil} x := x^.next",
+     "x = nil", "x = nil", True),
+    ("walk_until_blue",
+     "  p := x;\n"
+     "  while p <> nil and p^.tag = red do p := p^.next",
+     "", "p = nil | <(List:blue)?>p", True),
+]
+
+
+@pytest.mark.parametrize(
+    "name,body,pre,post,expected",
+    CASES, ids=[case[0] for case in CASES])
+def test_catalog(name, body, pre, post, expected):
+    source = wrap_program(body or "  x := x", pre=pre, post=post)
+    result = verify_source(source, simulate=False)
+    assert result.valid is expected, (
+        name,
+        result.counterexample.render() if result.counterexample
+        else "verified unexpectedly")

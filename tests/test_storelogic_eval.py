@@ -1,0 +1,170 @@
+"""Tests for concrete store-logic evaluation (the paper's semantics)."""
+
+import pytest
+
+from repro.storelogic import parse_formula, check_formula
+from repro.storelogic.eval import eval_formula, eval_term
+from repro.storelogic.ast import TermDeref, TermVar
+from repro.stores.model import NIL_ID
+
+from util import list_schema, store_with_lists, terminator_schema
+
+
+@pytest.fixture
+def schema():
+    return list_schema()
+
+
+@pytest.fixture
+def store(schema):
+    # x: red -> red -> blue -> red, p at the blue cell, y empty, q nil
+    return store_with_lists(schema,
+                            {"x": ["red", "red", "blue", "red"]},
+                            {"p": ("x", 2)})
+
+
+def holds(text, store):
+    formula = check_formula(parse_formula(text), store.schema)
+    return eval_formula(formula, store)
+
+
+class TestTerms:
+    def test_variables_and_nil(self, store):
+        assert eval_term(TermVar("y"), store) == NIL_ID
+        assert eval_term(TermVar("p"), store) == store.var("p")
+
+    def test_traversal(self, store):
+        term = TermDeref(TermVar("x"), "next")
+        assert eval_term(term, store) == store.list_of("x")[1]
+
+    def test_traversal_from_nil_is_undefined(self, store):
+        term = TermDeref(TermVar("y"), "next")
+        assert eval_term(term, store) is None
+
+    def test_traversal_from_garbage_is_undefined(self, store):
+        garbage = store.add_garbage()
+        store.set_var("q", garbage)
+        assert eval_term(TermDeref(TermVar("q"), "next"), store) is None
+
+    def test_traversal_past_end_is_undefined(self, store):
+        term = TermVar("p")
+        for _ in range(3):
+            term = TermDeref(term, "next")
+        assert eval_term(term, store) is None
+
+    def test_missing_variant_field_is_undefined(self):
+        schema = terminator_schema()
+        from repro.stores.model import Store
+        store = Store(schema)
+        leaf = store.add_record("Node", "leaf")
+        store.set_var("x", leaf)
+        assert eval_term(TermDeref(TermVar("x"), "next"), store) is None
+
+    def test_uninitialised_field_is_undefined(self, store):
+        fresh = store.add_record("Item", "red")  # next is None
+        store.set_var("q", fresh)
+        assert eval_term(TermDeref(TermVar("q"), "next"), store) is None
+
+
+class TestAtoms:
+    def test_equality(self, store):
+        assert holds("x = x", store)
+        assert holds("y = nil", store)
+        assert not holds("x = p", store)
+
+    def test_equality_false_on_undefined(self, store):
+        # y = nil, so y^.next is undefined: both = and <> variants of
+        # the atom are false / true respectively under ~(=).
+        assert not holds("y^.next = nil", store)
+        assert holds("y^.next <> nil", store)  # ~(undefined = nil)
+
+    def test_last_cell_next_nil(self, store):
+        assert holds("p^.next^.next = nil", store)
+
+
+class TestRouting:
+    def test_reachability(self, store):
+        assert holds("x<next*>p", store)
+        assert not holds("p<next*>x", store)
+        assert holds("x<next+>p", store)
+        assert not holds("x<next+>x", store)
+        assert holds("x<next*>x", store)
+
+    def test_reach_nil(self, store):
+        assert holds("x<next*>nil", store)
+        assert holds("p<next.next>nil", store)
+
+    def test_empty_list_routing(self, store):
+        assert holds("y<next*>nil", store)   # zero steps from nil
+        assert not holds("y<next+>nil", store)
+
+    def test_tests_along_route(self, store):
+        assert holds("x<next.next.(List:blue)?>p", store)
+        assert not holds("x<next.(List:blue)?>p", store)
+        assert holds("<(Item:blue)?>p", store)
+        assert not holds("<(Item:red)?>p", store)
+
+    def test_union_route(self, store):
+        assert holds("x<(next+(List:red)?)*>p", store)
+
+    def test_garb_test(self, store):
+        assert not holds("ex g: <garb?>g", store)
+        store.add_garbage()
+        assert holds("ex g: <garb?>g", store)
+        assert holds("ex g: <garb?>g & (all r: <garb?>r => r = g)",
+                     store)
+        store.add_garbage()
+        assert not holds("ex g: <garb?>g & (all r: <garb?>r => r = g)",
+                         store)
+
+    def test_nil_test(self, store):
+        assert holds("<nil?>nil", store)
+        assert not holds("<nil?>p", store)
+
+    def test_route_does_not_leave_nil(self, store):
+        assert not holds("nil<next>x", store)
+
+
+class TestPaperFormulas:
+    """The three example formulas of §3, on the §3 store."""
+
+    def test_not_red_implies_reachable(self, store):
+        assert holds("~<(List:red)?>p => x<next*>p", store)
+
+    def test_no_pointers_into_garbage(self, store):
+        store.add_garbage()
+        assert holds("all c, d: c<next>d => ~<garb?>d", store)
+
+    def test_at_most_one_incoming(self, store):
+        assert holds(
+            "all c, q, r: (c <> nil & q<next>c & r<next>c) => q = r",
+            store)
+
+
+class TestQuantifiers:
+    def test_domain_includes_nil_and_garbage(self, store):
+        store.add_garbage()
+        assert holds("ex c: <nil?>c", store)
+        assert holds("ex c: <garb?>c", store)
+
+    def test_shadowing_program_variable(self, store):
+        # q the program variable is nil; the bound q ranges over cells
+        assert holds("ex q: <(Item:blue)?>q", store)
+
+    def test_nested_quantifiers(self, store):
+        assert holds("all c: (ex d: c<next*>d & <nil?>d) | <garb?>c",
+                     store)
+
+    def test_multi_name_quantifier(self, store):
+        assert holds("ex c, d: c<next>d & <(Item:blue)?>d", store)
+
+
+class TestConnectives:
+    def test_iff_and_implies(self, store):
+        # x = nil is false; y^.next = p is false (undefined term)
+        assert holds("x = nil <=> y^.next = p", store)
+        assert holds("x = x <=> y^.next = p", store) is False
+        assert holds("(x = x <=> y = nil) & true", store)
+        assert holds("false => x = nil", store)
+        assert holds("true | false", store)
+        assert not holds("false", store)

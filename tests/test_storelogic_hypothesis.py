@@ -1,0 +1,165 @@
+"""Property-based differential testing of the store-logic pipeline.
+
+Hypothesis generates random assertions; each is (a) pretty-printed and
+re-parsed (round-trip), and (b) translated to M2L and compiled, with
+the automaton compared against the concrete evaluator on a pool of
+well-formed stores.  This is the same oracle discipline as
+``test_storelogic_translate.py`` but over a much wilder formula space.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.storelogic import ast, check_formula, parse_formula
+from repro.storelogic.eval import eval_formula
+from repro.storelogic.pretty import pretty_formula
+from repro.storelogic.translate import translate_formula
+from repro.stores.encode import encode_store
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import initial_store
+from repro.symbolic.wf import wf_string
+
+from util import list_schema, random_store
+
+SCHEMA = list_schema()
+
+_VAR_NAMES = ("x", "y", "p", "q")
+_BOUND_NAMES = ("c", "d")
+
+
+def _terms(depth=2):
+    base = st.one_of(
+        st.sampled_from(_VAR_NAMES).map(ast.TermVar),
+        st.just(ast.TermNil()),
+    )
+    if depth == 0:
+        return base
+    return st.one_of(
+        base,
+        _terms(depth - 1).map(lambda t: ast.TermDeref(t, "next")),
+    )
+
+
+def _routes():
+    atom = st.one_of(
+        st.just(ast.RouteField("next")),
+        st.just(ast.RouteTestNil()),
+        st.just(ast.RouteTestGarb()),
+        st.sampled_from(["red", "blue"]).map(
+            lambda v: ast.RouteTestVariant("Item", v)),
+    )
+    return st.recursive(
+        atom,
+        lambda children: st.one_of(
+            st.tuples(children, children).map(
+                lambda t: ast.RouteCat(*t)),
+            st.tuples(children, children).map(
+                lambda t: ast.RouteUnion(*t)),
+            children.map(ast.RouteStar),
+        ),
+        max_leaves=3)
+
+
+def _bound_term():
+    return st.sampled_from(_BOUND_NAMES).map(ast.TermVar)
+
+
+def _atoms(allow_bound):
+    term = st.one_of(_terms(), _bound_term()) if allow_bound \
+        else _terms()
+    return st.one_of(
+        st.tuples(term, term).map(lambda t: ast.SEq(*t)),
+        st.tuples(term, _routes(), term).map(
+            lambda t: ast.SRoute(t[0], t[1], t[2])),
+        st.just(ast.STrue()),
+    )
+
+
+def _formulas():
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda t: ast.SAnd(*t)),
+            st.tuples(children, children).map(lambda t: ast.SOr(*t)),
+            st.tuples(children, children).map(
+                lambda t: ast.SImplies(*t)),
+            children.map(ast.SNot),
+        )
+
+    quantified = st.builds(
+        lambda name, universal, body:
+            ast.SAll((name,), body) if universal
+            else ast.SEx((name,), body),
+        st.sampled_from(_BOUND_NAMES),
+        st.booleans(),
+        st.recursive(_atoms(allow_bound=True), extend, max_leaves=3))
+    return st.recursive(st.one_of(_atoms(allow_bound=False), quantified),
+                        extend, max_leaves=3)
+
+
+def _close(formula):
+    """Bind any stray bound-pool names so the formula is closed."""
+    free_bound = set()
+
+    def scan(node, bound):
+        if isinstance(node, ast.TermVar):
+            if node.name in _BOUND_NAMES and node.name not in bound:
+                free_bound.add(node.name)
+        elif isinstance(node, ast.TermDeref):
+            scan(node.base, bound)
+        elif isinstance(node, (ast.SEq,)):
+            scan(node.left, bound)
+            scan(node.right, bound)
+        elif isinstance(node, ast.SRoute):
+            scan(node.left, bound)
+            scan(node.right, bound)
+        elif isinstance(node, ast.SNot):
+            scan(node.inner, bound)
+        elif isinstance(node, (ast.SAnd, ast.SOr, ast.SImplies,
+                               ast.SIff)):
+            scan(node.left, bound)
+            scan(node.right, bound)
+        elif isinstance(node, (ast.SEx, ast.SAll)):
+            scan(node.body, bound | set(node.names))
+
+    scan(formula, set())
+    for name in sorted(free_bound):
+        formula = ast.SEx((name,), formula)
+    return formula
+
+
+@pytest.fixture(scope="module")
+def stores():
+    rng = random.Random(99)
+    return [random_store(SCHEMA, rng) for _ in range(6)]
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(_formulas())
+def test_pretty_parse_roundtrip(formula):
+    closed = _close(formula)
+    text = pretty_formula(closed)
+    reparsed = parse_formula(text)
+    assert pretty_formula(reparsed) == text
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(formula=_formulas())
+def test_translation_matches_eval(stores, formula):
+    closed = check_formula(_close(formula), SCHEMA)
+    compiler = Compiler()
+    layout = TrackLayout(SCHEMA)
+    layout.register(compiler)
+    state = initial_store(SCHEMA, layout)
+    automaton = compiler.compile(
+        F.and_(wf_string(layout), translate_formula(closed, state)))
+    tracks = compiler.tracks()
+    for store in stores:
+        word = layout.symbols_to_word(encode_store(store), tracks)
+        assert automaton.accepts(word) == eval_formula(closed, store), \
+            pretty_formula(closed)

@@ -1,0 +1,202 @@
+"""Tests for the store-logic assertion parser and checker."""
+
+import pytest
+
+from repro.errors import ParseError, TranslationError
+from repro.storelogic import ast, check_formula, parse_formula
+
+from util import list_schema
+
+
+class TestTerms:
+    def test_variable(self):
+        f = parse_formula("x = p")
+        assert f == ast.SEq(ast.TermVar("x"), ast.TermVar("p"))
+
+    def test_nil(self):
+        f = parse_formula("x = nil")
+        assert f.right == ast.TermNil()
+
+    def test_traversal(self):
+        f = parse_formula("p^.next^.next = nil")
+        assert f.left == ast.TermDeref(
+            ast.TermDeref(ast.TermVar("p"), "next"), "next")
+
+    def test_inequality_desugars(self):
+        f = parse_formula("p <> q")
+        assert isinstance(f, ast.SNot)
+        assert isinstance(f.inner, ast.SEq)
+
+
+class TestRouting:
+    def test_simple_field(self):
+        f = parse_formula("x<next>p")
+        assert f == ast.SRoute(ast.TermVar("x"), ast.RouteField("next"),
+                               ast.TermVar("p"))
+
+    def test_star(self):
+        f = parse_formula("x<next*>p")
+        assert f.route == ast.RouteStar(ast.RouteField("next"))
+
+    def test_postfix_plus(self):
+        f = parse_formula("x<next+>p")
+        assert f.route == ast.RouteCat(
+            ast.RouteField("next"),
+            ast.RouteStar(ast.RouteField("next")))
+
+    def test_union_plus(self):
+        f = parse_formula("x<next+prev>p")
+        assert f.route == ast.RouteUnion(ast.RouteField("next"),
+                                         ast.RouteField("prev"))
+
+    def test_concatenation(self):
+        f = parse_formula("x<next.next>p")
+        assert f.route == ast.RouteCat(ast.RouteField("next"),
+                                       ast.RouteField("next"))
+
+    def test_tests(self):
+        f = parse_formula("x<next.(List:blue)?>p")
+        assert f.route.right == ast.RouteTestVariant("List", "blue")
+        g = parse_formula("x<nil?>p")
+        assert g.route == ast.RouteTestNil()
+        h = parse_formula("x<garb?>p")
+        assert h.route == ast.RouteTestGarb()
+
+    def test_unknown_test(self):
+        with pytest.raises(ParseError):
+            parse_formula("x<weird?>p")
+
+    def test_unary_route_sugar(self):
+        f = parse_formula("<garb?>g")
+        assert f.left == f.right == ast.TermVar("g")
+
+    def test_parenthesised_route(self):
+        f = parse_formula("x<(next.next)*>p")
+        assert isinstance(f.route, ast.RouteStar)
+        assert isinstance(f.route.inner, ast.RouteCat)
+
+    def test_mixed_route_expression(self):
+        f = parse_formula("x<(next+(List:red)?)*.next>p")
+        assert isinstance(f.route, ast.RouteCat)
+        assert isinstance(f.route.left, ast.RouteStar)
+        assert isinstance(f.route.left.inner, ast.RouteUnion)
+
+
+class TestConnectives:
+    def test_precedence(self):
+        f = parse_formula("x = nil & y = nil | p = q")
+        assert isinstance(f, ast.SOr)
+        assert isinstance(f.left, ast.SAnd)
+
+    def test_implies_right_assoc(self):
+        f = parse_formula("x = nil => y = nil => p = q")
+        assert isinstance(f, ast.SImplies)
+        assert isinstance(f.right, ast.SImplies)
+
+    def test_iff(self):
+        f = parse_formula("x = nil <=> p = nil")
+        assert isinstance(f, ast.SIff)
+
+    def test_negation_forms(self):
+        for text in ("~x = nil", "not x = nil", "!x = nil"):
+            assert isinstance(parse_formula(text), ast.SNot)
+
+    def test_word_connectives(self):
+        f = parse_formula("x = nil and y = nil or p = q")
+        assert isinstance(f, ast.SOr)
+
+    def test_constants(self):
+        assert isinstance(parse_formula("true"), ast.STrue)
+        assert isinstance(parse_formula("false"), ast.SFalse)
+
+    def test_parentheses(self):
+        f = parse_formula("x = nil & (y = nil | p = q)")
+        assert isinstance(f.right, ast.SOr)
+
+
+class TestQuantifiers:
+    def test_single_name(self):
+        f = parse_formula("ex g: <garb?>g")
+        assert isinstance(f, ast.SEx)
+        assert f.names == ("g",)
+
+    def test_multiple_names(self):
+        f = parse_formula("all c, d: c<next>d => ~<garb?>d")
+        assert f.names == ("c", "d")
+        assert isinstance(f.body, ast.SImplies)
+
+    def test_body_extends_right(self):
+        f = parse_formula("all r: <garb?>r => r = q")
+        assert isinstance(f.body, ast.SImplies)
+
+    def test_paper_delete_postcondition(self):
+        text = ("(x = nil & p = nil) | "
+                "(ex g: <garb?>g & (all r: <garb?>r => r = g))")
+        f = parse_formula(text)
+        assert isinstance(f, ast.SOr)
+
+
+class TestParseErrors:
+    def test_dangling_operator(self):
+        with pytest.raises(ParseError):
+            parse_formula("x = ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_formula("(x = nil")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_formula("x # y")
+
+    def test_missing_route_close(self):
+        with pytest.raises(ParseError):
+            parse_formula("x<next*")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_formula("x = nil y")
+
+
+class TestCheck:
+    @pytest.fixture
+    def schema(self):
+        return list_schema()
+
+    def test_resolves_pointer_alias(self, schema):
+        f = check_formula(parse_formula("<(List:red)?>p"), schema)
+        assert f.route == ast.RouteTestVariant("Item", "red")
+
+    def test_accepts_record_name(self, schema):
+        f = check_formula(parse_formula("<(Item:blue)?>p"), schema)
+        assert f.route.type_name == "Item"
+
+    def test_unknown_variable(self, schema):
+        with pytest.raises(TranslationError):
+            check_formula(parse_formula("z = nil"), schema)
+
+    def test_bound_variable_ok(self, schema):
+        check_formula(parse_formula("ex z: z = nil"), schema)
+
+    def test_bound_shadows_program_var(self, schema):
+        check_formula(parse_formula("ex q: <garb?>q"), schema)
+
+    def test_unknown_field(self, schema):
+        with pytest.raises(TranslationError):
+            check_formula(parse_formula("p^.prev = nil"), schema)
+
+    def test_unknown_route_field(self, schema):
+        with pytest.raises(TranslationError):
+            check_formula(parse_formula("x<prev*>p"), schema)
+
+    def test_unknown_type_in_test(self, schema):
+        with pytest.raises(TranslationError):
+            check_formula(parse_formula("<(Junk:red)?>p"), schema)
+
+    def test_unknown_variant_in_test(self, schema):
+        with pytest.raises(TranslationError):
+            check_formula(parse_formula("<(List:green)?>p"), schema)
+
+    def test_cannot_bind_nil(self, schema):
+        with pytest.raises(TranslationError):
+            check_formula(parse_formula("ex nil: true"), schema)

@@ -1,0 +1,120 @@
+"""Differential tests: store-logic translation vs concrete evaluation.
+
+For a formula phi, the automaton of ``translate(phi, I0)`` (conjoined
+with ``wf_string``) must accept exactly the encodings of well-formed
+stores on which the concrete evaluator says phi holds.
+"""
+
+import random
+
+import pytest
+
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.storelogic import check_formula, parse_formula
+from repro.storelogic.eval import eval_formula
+from repro.storelogic.translate import translate_formula
+from repro.stores.encode import encode_store
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import initial_store
+from repro.symbolic.wf import wf_string
+
+from util import list_schema, random_store, store_with_lists
+
+FORMULAS = [
+    "x = nil",
+    "p = q",
+    "x = p",
+    "p^.next = nil",
+    "p^.next = q",
+    "p^.next^.next = nil",
+    "x<next*>p",
+    "x<next+>p",
+    "x<next*>nil",
+    "x<next*>q & q <> nil",
+    "<(List:red)?>p",
+    "<(Item:blue)?>p",
+    "x<next.(List:red)?.next*>p",
+    "x<(next+(List:red)?)*>p",
+    "<nil?>p",
+    "ex g: <garb?>g",
+    "ex g: <garb?>g & (all r: <garb?>r => r = g)",
+    "all c, d: c<next>d => ~<garb?>d",
+    "all c, q, r: (c <> nil & q<next>c & r<next>c) => q = r",
+    "~<(List:red)?>p => x<next*>p",
+    "x = nil <=> p = nil",
+    "y^.next <> nil",
+    "ex c: <(Item:blue)?>c & x<next*>c",
+    "all c: x<next*>c => (c = nil | <(Item:red)?>c | <(Item:blue)?>c)",
+]
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return list_schema()
+
+
+@pytest.fixture(scope="module")
+def stores(schema):
+    """A diverse pool of well-formed stores."""
+    pool = [
+        store_with_lists(schema, {}),
+        store_with_lists(schema, {"x": ["red"]}),
+        store_with_lists(schema, {"x": ["blue"]}, {"p": ("x", 0)}),
+        store_with_lists(schema, {"x": ["red", "blue", "red"]},
+                         {"p": ("x", 1), "q": ("x", 2)}),
+        store_with_lists(schema, {"x": ["red", "red"], "y": ["blue"]},
+                         {"p": ("y", 0)}, garbage=1),
+        store_with_lists(schema, {"y": ["blue", "blue"]}, garbage=2),
+        store_with_lists(schema, {"x": ["red", "blue"]},
+                         {"p": ("x", 1), "q": ("x", 1)}),
+    ]
+    rng = random.Random(7)
+    pool.extend(random_store(schema, rng) for _ in range(8))
+    return pool
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_translation_matches_concrete_eval(text, schema, stores):
+    formula = check_formula(parse_formula(text), schema)
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    state = initial_store(schema, layout)
+    automaton = compiler.compile(
+        F.and_(wf_string(layout), translate_formula(formula, state)))
+    tracks = compiler.tracks()
+    for store in stores:
+        word = layout.symbols_to_word(encode_store(store), tracks)
+        expected = eval_formula(formula, store)
+        assert automaton.accepts(word) == expected, \
+            (text, store.signature())
+
+
+def test_translation_of_unknown_variable_fails(schema):
+    from repro.errors import TranslationError
+    from repro.storelogic.ast import SEq, TermNil, TermVar
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    state = initial_store(schema, layout)
+    with pytest.raises(TranslationError):
+        translate_formula(SEq(TermVar("zz"), TermNil()), state)
+
+
+def test_quantifier_excludes_lim_positions(schema):
+    """Bound cell variables never range over lim positions: a formula
+    counting cells sees exactly nil + records + garbage."""
+    formula = check_formula(
+        parse_formula("all c: <nil?>c | <garb?>c | "
+                      "<(Item:red)?>c | <(Item:blue)?>c"), schema)
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    state = initial_store(schema, layout)
+    automaton = compiler.compile(
+        F.and_(wf_string(layout), translate_formula(formula, state)))
+    tracks = compiler.tracks()
+    store = store_with_lists(schema, {"x": ["red"]}, garbage=1)
+    word = layout.symbols_to_word(encode_store(store), tracks)
+    assert automaton.accepts(word)

@@ -1,0 +1,193 @@
+"""Tests for the store-string encoding (paper §3) and rendering."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StoreError
+from repro.stores.encode import (LABEL_GARB, LABEL_LIM, LABEL_NIL, Symbol,
+                                 decode_store, encode_store, record_label)
+from repro.stores.model import Store
+from repro.stores.render import render_store, render_symbols
+
+from util import list_schema, random_store, store_with_lists
+
+
+@pytest.fixture
+def schema():
+    return list_schema(data_vars=("x",), pointer_vars=("p",))
+
+
+@pytest.fixture
+def schema3():
+    return list_schema(data_vars=("x", "y", "z"),
+                       pointer_vars=("p", "q"))
+
+
+class TestPaperExamples:
+    def test_first_paper_store(self, schema):
+        """The 6-symbol example of §3."""
+        store = store_with_lists(schema,
+                                 {"x": ["red", "red", "blue", "red"]},
+                                 {"p": ("x", 2)})
+        text = render_symbols(encode_store(store))
+        assert text == ("[nil,{}] [(Item:red),{x}] [(Item:red),{}] "
+                        "[(Item:blue),{p}] [(Item:red),{}] [lim,{}]")
+
+    def test_second_paper_store(self, schema3):
+        """The 9-symbol example of §3 (x: 3 reds; y empty; z: 2 blues)."""
+        store = store_with_lists(
+            schema3,
+            {"x": ["red", "red", "red"], "y": [], "z": ["blue", "blue"]},
+            {"p": ("x", 0), "q": ("x", 1)})
+        symbols = encode_store(store)
+        assert len(symbols) == 9
+        assert symbols[0] == Symbol(LABEL_NIL, frozenset({"y"}))
+        assert symbols[1].bitmap == frozenset({"x", "p"})
+        assert symbols[4].label == LABEL_LIM
+        assert symbols[5].label == LABEL_LIM
+        assert symbols[6].bitmap == frozenset({"z"})
+        assert symbols[8].label == LABEL_LIM
+
+    def test_symbol_rendering(self):
+        assert str(Symbol(LABEL_NIL, frozenset({"p"}))) == "[nil,{p}]"
+        assert str(Symbol(record_label("Item", "red"),
+                          frozenset({"x", "p"}))) == "[(Item:red),{p,x}]"
+        assert str(Symbol(LABEL_LIM, frozenset())) == "[lim,{}]"
+
+
+class TestEncodeErrors:
+    def test_ill_formed_store_rejected(self, schema):
+        store = Store(schema)
+        store.add_record("Item", "red", 0)  # unclaimed
+        with pytest.raises(StoreError):
+            encode_store(store)
+
+
+class TestDecode:
+    def test_roundtrip_simple(self, schema):
+        store = store_with_lists(schema, {"x": ["red", "blue"]},
+                                 {"p": ("x", 1)}, garbage=2)
+        symbols = encode_store(store)
+        decoded = decode_store(schema, symbols)
+        assert decoded.is_well_formed()
+        assert decoded.signature() == store.signature()
+        assert encode_store(decoded) == symbols
+
+    def test_cell_ids_equal_positions(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]}, garbage=1)
+        decoded = decode_store(schema, encode_store(store))
+        assert decoded.var("x") == 1
+        assert decoded.garbage_ids() == [3]  # nil, cell, lim, garb
+
+    def test_missing_nil_rejected(self, schema):
+        with pytest.raises(StoreError):
+            decode_store(schema, [Symbol(LABEL_LIM, frozenset())])
+
+    def test_extra_nil_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x", "p"})),
+                   Symbol(LABEL_NIL, frozenset()),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_missing_lim_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x", "p"}))]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_too_many_lims_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x", "p"})),
+                   Symbol(LABEL_LIM, frozenset()),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_record_after_garbage_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"p"})),
+                   Symbol(LABEL_GARB, frozenset()),
+                   Symbol(record_label("Item", "red"), frozenset({"x"})),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_variable_in_two_bitmaps_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x", "p"})),
+                   Symbol(record_label("Item", "red"), frozenset({"p"})),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_variable_missing_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x"})),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_data_var_in_wrong_place_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"p"})),
+                   Symbol(record_label("Item", "red"), frozenset()),
+                   Symbol(record_label("Item", "red"), frozenset({"x"})),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_pointer_var_on_lim_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x"})),
+                   Symbol(LABEL_LIM, frozenset({"p"}))]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+    def test_unknown_label_rejected(self, schema):
+        symbols = [Symbol(LABEL_NIL, frozenset({"x", "p"})),
+                   Symbol(record_label("Item", "green"), frozenset()),
+                   Symbol(LABEL_LIM, frozenset())]
+        with pytest.raises(StoreError):
+            decode_store(schema, symbols)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_roundtrip_random_stores(seed):
+    """encode -> decode -> encode is the identity on random stores."""
+    schema = list_schema()
+    store = random_store(schema, random.Random(seed))
+    symbols = encode_store(store)
+    decoded = decode_store(schema, symbols)
+    assert decoded.is_well_formed()
+    assert encode_store(decoded) == symbols
+    assert decoded.signature() == store.signature()
+
+
+class TestRender:
+    def test_render_lists_and_pointers(self, schema):
+        store = store_with_lists(schema, {"x": ["red", "blue"]},
+                                 {"p": ("x", 1)})
+        text = render_store(store)
+        assert "x: [red] -> [blue] -> nil" in text
+        assert "^p" in text
+
+    def test_render_empty_and_garbage(self, schema):
+        store = store_with_lists(schema, {"x": []}, garbage=1)
+        text = render_store(store)
+        assert "x: nil" in text
+        assert "garbage:" in text
+
+    def test_render_broken_chain(self, schema):
+        store = store_with_lists(schema, {"x": ["red", "red"]})
+        ids = store.list_of("x")
+        store.cell(ids[1]).next = ids[0]
+        text = render_store(store)
+        assert "cycle" in text
+
+    def test_render_dangling(self, schema):
+        store = store_with_lists(schema, {"x": []})
+        garbage = store.add_garbage()
+        store.set_var("p", garbage)
+        assert "dangling" in render_store(store)
+
+    def test_render_symbols_matches_paper_notation(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        assert render_symbols(encode_store(store)) == \
+            "[nil,{p}] [(Item:red),{x}] [lim,{}]"

@@ -1,0 +1,207 @@
+"""Tests for the concrete store model and well-formedness checking."""
+
+import pytest
+
+from repro.errors import StoreError, TypeError_
+from repro.stores.model import NIL_ID, CellKind, Store
+from repro.stores.schema import FieldInfo, RecordType, Schema
+
+from util import list_schema, store_with_lists, terminator_schema
+
+
+@pytest.fixture
+def schema():
+    return list_schema()
+
+
+@pytest.fixture
+def store(schema):
+    return Store(schema)
+
+
+class TestSchema:
+    def test_variant_labels_order(self, schema):
+        assert schema.variant_labels() == [("Item", "red"),
+                                           ("Item", "blue")]
+
+    def test_var_type_and_classification(self, schema):
+        assert schema.var_type("x") == "Item"
+        assert schema.is_data("x")
+        assert not schema.is_data("p")
+        with pytest.raises(TypeError_):
+            schema.var_type("nope")
+        with pytest.raises(TypeError_):
+            schema.is_data("nope")
+
+    def test_all_vars_order(self, schema):
+        assert schema.all_vars() == ["x", "y", "p", "q"]
+
+    def test_resolve_record(self, schema):
+        assert schema.resolve_record("Item") == "Item"
+        assert schema.resolve_record("List") == "Item"
+        with pytest.raises(TypeError_):
+            schema.resolve_record("Junk")
+
+    def test_record_lookup(self, schema):
+        record = schema.record("Item")
+        assert record.field_of("red") == FieldInfo("next", "Item")
+        with pytest.raises(TypeError_):
+            record.field_of("green")
+        with pytest.raises(TypeError_):
+            schema.record("Junk")
+
+    def test_validate_rejects_bad_tag_type(self):
+        bad = Schema(enums={}, records={"R": RecordType(
+            "R", "tag", "Missing", {})})
+        with pytest.raises(TypeError_):
+            bad.validate()
+
+    def test_validate_rejects_overlapping_vars(self):
+        bad = list_schema()
+        bad.pointer_vars["x"] = "Item"
+        with pytest.raises(TypeError_):
+            bad.validate()
+
+
+class TestStoreBasics:
+    def test_fresh_store_has_nil_and_vars(self, store):
+        assert store.cell(NIL_ID).kind is CellKind.NIL
+        assert all(store.var(name) == NIL_ID
+                   for name in ("x", "y", "p", "q"))
+        assert store.is_well_formed()
+
+    def test_add_record_checks_variant(self, store):
+        with pytest.raises(StoreError):
+            store.add_record("Item", "green")
+
+    def test_make_list(self, store):
+        ids = store.make_list("x", ["red", "blue"])
+        assert store.var("x") == ids[0]
+        assert store.cell(ids[0]).next == ids[1]
+        assert store.cell(ids[1]).next == NIL_ID
+        assert store.list_of("x") == ids
+
+    def test_make_empty_list(self, store):
+        assert store.make_list("x", []) == []
+        assert store.var("x") == NIL_ID
+
+    def test_set_var_requires_known_names(self, store):
+        with pytest.raises(StoreError):
+            store.set_var("nope", NIL_ID)
+        with pytest.raises(StoreError):
+            store.set_var("x", 999)
+
+    def test_first_garbage_is_lowest(self, store):
+        store.make_list("x", ["red"])
+        g1 = store.add_garbage()
+        g2 = store.add_garbage()
+        assert store.first_garbage() == min(g1, g2)
+
+    def test_first_garbage_none(self, store):
+        assert store.first_garbage() is None
+
+    def test_clone_is_independent(self, store):
+        store.make_list("x", ["red"])
+        copy = store.clone()
+        copy.cell(copy.var("x")).variant = "blue"
+        assert store.cell(store.var("x")).variant == "red"
+
+    def test_list_of_detects_cycle(self, store):
+        ids = store.make_list("x", ["red", "red"])
+        store.cell(ids[1]).next = ids[0]
+        with pytest.raises(StoreError):
+            store.list_of("x")
+
+    def test_record_and_garbage_ids(self, store):
+        ids = store.make_list("x", ["red", "blue"])
+        g = store.add_garbage()
+        assert store.record_ids() == sorted(ids)
+        assert store.garbage_ids() == [g]
+
+
+class TestWellFormedness:
+    def test_well_formed_store(self, schema):
+        store = store_with_lists(schema,
+                                 {"x": ["red", "blue"], "y": ["red"]},
+                                 {"p": ("x", 1)}, garbage=2)
+        assert store.is_well_formed()
+
+    def test_dangling_pointer_var(self, schema):
+        store = store_with_lists(schema, {"x": ["red"]})
+        garbage = store.add_garbage()
+        store.set_var("p", garbage)
+        assert any("dangles" in v for v in store.violations())
+
+    def test_unclaimed_record_cell(self, store):
+        store.add_record("Item", "red", NIL_ID)
+        assert any("unclaimed" in v for v in store.violations())
+
+    def test_shared_cell_between_lists(self, store):
+        ids = store.make_list("x", ["red"])
+        store.make_list("y", [])
+        store.set_var("y", ids[0])
+        assert any("shared" in v for v in store.violations())
+
+    def test_cycle_detected(self, store):
+        ids = store.make_list("x", ["red", "red"])
+        store.cell(ids[1]).next = ids[0]
+        assert any("cyclic" in v for v in store.violations())
+
+    def test_undefined_next(self, store):
+        ids = store.make_list("x", ["red"])
+        store.cell(ids[0]).next = None
+        assert any("undefined" in v for v in store.violations())
+
+    def test_garbage_with_outgoing_pointer(self, store):
+        garbage = store.add_garbage()
+        store.cell(garbage).next = NIL_ID
+        assert any("outgoing" in v for v in store.violations())
+
+    def test_pointer_into_garbage_breaks_list(self, store):
+        ids = store.make_list("x", ["red"])
+        garbage = store.add_garbage()
+        store.cell(ids[0]).next = garbage
+        assert not store.is_well_formed()
+
+    def test_terminator_variant_ends_list(self):
+        schema = terminator_schema()
+        store = Store(schema)
+        cons = store.add_record("Node", "cons")
+        leaf = store.add_record("Node", "leaf")
+        store.cell(cons).next = leaf
+        store.set_var("x", cons)
+        assert store.is_well_formed(), store.violations()
+        assert store.list_of("x") == [cons, leaf]
+
+    def test_terminator_with_next_is_ill_formed(self):
+        schema = terminator_schema()
+        store = Store(schema)
+        leaf = store.add_record("Node", "leaf", NIL_ID)
+        store.set_var("x", leaf)
+        assert any("no pointer field" in v for v in store.violations())
+
+
+class TestSignature:
+    def test_equal_for_isomorphic_stores(self, schema):
+        a = store_with_lists(schema, {"x": ["red", "blue"]},
+                             {"p": ("x", 0)}, garbage=1)
+        b = store_with_lists(schema, {"x": ["red", "blue"]},
+                             {"p": ("x", 0)}, garbage=1)
+        assert a.signature() == b.signature()
+
+    def test_differs_on_variant(self, schema):
+        a = store_with_lists(schema, {"x": ["red"]})
+        b = store_with_lists(schema, {"x": ["blue"]})
+        assert a.signature() != b.signature()
+
+    def test_differs_on_pointer_binding(self, schema):
+        a = store_with_lists(schema, {"x": ["red", "red"]},
+                             {"p": ("x", 0)})
+        b = store_with_lists(schema, {"x": ["red", "red"]},
+                             {"p": ("x", 1)})
+        assert a.signature() != b.signature()
+
+    def test_differs_on_garbage_count(self, schema):
+        a = store_with_lists(schema, {"x": []}, garbage=1)
+        b = store_with_lists(schema, {"x": []}, garbage=2)
+        assert a.signature() != b.signature()

@@ -1,0 +1,183 @@
+"""Differential tests: symbolic transduction vs the concrete interpreter.
+
+For random loop-free programs, the symbolic engine's error / oom /
+final-state predicates (compiled to automata over initial-store
+encodings) are compared with actually running the program:
+
+* the interpreter succeeds  ->  error and oom automata reject, the
+  final-state well-formedness automaton agrees with the concrete
+  checker, and every query formula agrees with concrete evaluation on
+  the final store;
+* the interpreter raises OutOfMemory  ->  the oom automaton accepts;
+* the interpreter raises another runtime error  ->  the error
+  automaton accepts.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.interpreter import Interpreter, OutOfMemory
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.pascal import check_program, parse_program
+from repro.storelogic import check_formula, parse_formula
+from repro.storelogic.eval import eval_formula
+from repro.storelogic.translate import translate_formula
+from repro.stores.encode import encode_store
+from repro.symbolic.exec import exec_statements
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import initial_store
+from repro.symbolic.wf import wf_graph, wf_string
+
+from util import random_body, random_store, wrap_program
+
+QUERIES = [
+    "x = nil",
+    "p = q",
+    "x<next*>p",
+    "p^.next = nil",
+    "ex g: <garb?>g",
+    "<(Item:red)?>p",
+    "y<next*>q",
+]
+
+
+def _build(body_src):
+    program = check_program(parse_program(wrap_program(body_src)))
+    schema = program.schema
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    state0 = initial_store(schema, layout)
+    outcome = exec_statements(state0, program.body)
+    wf0 = wf_string(layout)
+    automata = {
+        "oom": compiler.compile(F.and_(wf0, outcome.oom)),
+        "err": compiler.compile(F.and_(wf0, outcome.error)),
+        "wf_final": compiler.compile(F.and_(wf0, wf_graph(outcome.store))),
+    }
+    queries = {}
+    for text in QUERIES:
+        formula = check_formula(parse_formula(text), schema)
+        queries[text] = (formula, compiler.compile(
+            F.and_(wf0, translate_formula(formula, outcome.store))))
+    return program, schema, compiler, layout, automata, queries
+
+
+def _check_one_store(program, schema, compiler, layout, automata,
+                     queries, store):
+    word = layout.symbols_to_word(encode_store(store), compiler.tracks())
+    interpreter = Interpreter(program)
+    working = store.clone()
+    try:
+        interpreter.run(working)
+        status = "ok"
+    except OutOfMemory:
+        status = "oom"
+    except ExecutionError:
+        status = "err"
+    if status == "oom":
+        assert automata["oom"].accepts(word), "oom not predicted"
+        return
+    if status == "err":
+        assert automata["err"].accepts(word), "error not predicted"
+        return
+    assert not automata["oom"].accepts(word), "spurious oom"
+    assert not automata["err"].accepts(word), "spurious error"
+    assert automata["wf_final"].accepts(word) == \
+        working.is_well_formed(), "wf_graph disagrees"
+    for text, (formula, automaton) in queries.items():
+        expected = eval_formula(formula, working)
+        assert automaton.accepts(word) == expected, (text, status)
+
+
+# Seeds whose generated programs compile in seconds.  A few seeds (5,
+# 12, 13) generate adversarial aliasing patterns whose intermediate
+# automata exhibit the logic's non-elementary blow-up (paper §6,
+# "Complexity"); they still decide correctly but take minutes, so the
+# routine suite skips them.
+FAST_SEEDS = [0, 1, 2, 3, 4, 6, 7, 8, 9, 10, 11, 14, 15, 16]
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_random_programs_match_interpreter(seed):
+    rng = random.Random(seed * 977 + 13)
+    body = random_body(rng, rng.randint(2, 5))
+    built = _build(body)
+    schema = built[1]
+    for store_seed in range(8):
+        store = random_store(schema, random.Random(seed * 101 + store_seed))
+        _check_one_store(*built, store)
+
+
+HAND_WRITTEN = [
+    # classic three-step rotations and updates
+    "  p := x;\n  x := x^.next;\n  p^.next := nil",
+    # allocation then initialisation
+    "  new(p, red);\n  p^.next := nil;\n  q := p",
+    # dispose then dangling assignment
+    "  p := x;\n  x := x^.next;\n  dispose(p, red)",
+    # conditionals with variant tests
+    "  if x <> nil and x^.tag = red then y := nil "
+    "else begin p := x end",
+    # field write through a two-step path
+    "  p^.next^.next := q",
+    # new into a field lvalue
+    "  new(p^.next, blue);\n  q := p^.next;\n  q^.next := nil",
+    # guard errors: tag of nil
+    "  if p^.tag = red then p := nil",
+    # chained conditionals touching garbage
+    "  if x = nil then new(x, red) else dispose(x, blue);\n"
+    "  if x <> nil then x^.next := nil",
+    # self-loop assignment (the cyclic-store pattern)
+    "  p^.next := p",
+    # aliased field write then read
+    "  q := p;\n  p^.next := x;\n  y := q^.next",
+]
+
+
+@pytest.mark.parametrize("index", range(len(HAND_WRITTEN)))
+def test_hand_written_programs_match_interpreter(index):
+    built = _build(HAND_WRITTEN[index])
+    schema = built[1]
+    for store_seed in range(10):
+        store = random_store(schema, random.Random(index * 37 + store_seed))
+        _check_one_store(*built, store)
+
+
+def test_dispose_wrong_variant_is_error():
+    built = _build("  dispose(x, red)")
+    program, schema = built[0], built[1]
+    from util import store_with_lists
+    store = store_with_lists(schema, {"x": ["blue"]})
+    _check_one_store(*built, store)
+    word = built[3].symbols_to_word(encode_store(store),
+                                    built[2].tracks())
+    assert built[4]["err"].accepts(word)
+
+
+def test_oom_predicted_exactly():
+    built = _build("  new(p, red)")
+    program, schema = built[0], built[1]
+    from util import store_with_lists
+    empty = store_with_lists(schema, {})           # no garbage: oom
+    roomy = store_with_lists(schema, {}, garbage=1)
+    _check_one_store(*built, empty)
+    _check_one_store(*built, roomy)
+    tracks = built[2].tracks()
+    assert built[4]["oom"].accepts(
+        built[3].symbols_to_word(encode_store(empty), tracks))
+    assert not built[4]["oom"].accepts(
+        built[3].symbols_to_word(encode_store(roomy), tracks))
+
+
+def test_allocation_uses_first_garbage_cell():
+    """Symbolic and concrete allocators agree on the chosen cell, so
+    pointer equalities after new() agree exactly."""
+    built = _build("  new(p, red);\n  new(q, blue);\n  p^.next := q")
+    schema = built[1]
+    from util import store_with_lists
+    store = store_with_lists(schema, {"x": ["red"]}, garbage=3)
+    _check_one_store(*built, store)

@@ -1,0 +1,146 @@
+"""Tests for the track layout and the symbolic store's basic shape."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.mso.ast import VarKind
+from repro.mso.compile import Compiler
+from repro.stores.encode import (LABEL_GARB, LABEL_LIM, LABEL_NIL, Symbol,
+                                 record_label)
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import initial_store, memo1, memo2, fresh_pos
+
+from util import list_schema, terminator_schema
+
+
+@pytest.fixture
+def schema():
+    return list_schema()
+
+
+@pytest.fixture
+def layout(schema):
+    return TrackLayout(schema)
+
+
+class TestLayout:
+    def test_labels_in_canonical_order(self, layout):
+        assert layout.labels[:3] == [LABEL_NIL, LABEL_LIM, LABEL_GARB]
+        assert layout.record_labels() == [record_label("Item", "red"),
+                                          record_label("Item", "blue")]
+
+    def test_free_vars_order_stable(self, layout, schema):
+        names = [v.name for v in layout.free_vars()]
+        assert names == ["Lnil", "Llim", "Lgarb", "L(Item:red)",
+                         "L(Item:blue)", "$x", "$y", "$p", "$q"]
+        assert all(v.kind is VarKind.SECOND for v in layout.free_vars())
+
+    def test_register_allocates_first_tracks(self, layout):
+        compiler = Compiler()
+        layout.register(compiler)
+        tracks = compiler.tracks()
+        assert sorted(tracks.values()) == list(range(len(tracks)))
+
+    def test_labels_with_field(self, layout):
+        assert set(layout.labels_with_field()) == {
+            record_label("Item", "red"), record_label("Item", "blue")}
+        assert layout.labels_with_field("next") == \
+            layout.labels_with_field()
+        assert layout.labels_with_field("prev") == []
+        assert layout.labels_without_field() == []
+
+    def test_labels_without_field_terminator(self):
+        layout = TrackLayout(terminator_schema())
+        assert layout.labels_without_field() == \
+            [record_label("Node", "leaf")]
+
+    def test_labels_of_type(self, layout):
+        assert layout.labels_of_type("Item") == layout.record_labels()
+        assert layout.labels_of_type("Other") == []
+
+
+class TestWordConversion:
+    def test_roundtrip(self, layout):
+        compiler = Compiler()
+        layout.register(compiler)
+        symbols = [Symbol(LABEL_NIL, frozenset({"y"})),
+                   Symbol(record_label("Item", "red"),
+                          frozenset({"x", "p"})),
+                   Symbol(LABEL_LIM, frozenset()),
+                   Symbol(LABEL_GARB, frozenset())]
+        word = layout.symbols_to_word(symbols, compiler.tracks())
+        back = layout.word_to_symbols(word, compiler.tracks())
+        assert back == symbols
+
+    def test_missing_tracks_read_as_false(self, layout):
+        compiler = Compiler()
+        layout.register(compiler)
+        tracks = compiler.tracks()
+        nil_track = tracks[layout.label_vars[LABEL_NIL]]
+        symbols = layout.word_to_symbols([{nil_track: True}], tracks)
+        assert symbols == [Symbol(LABEL_NIL, frozenset())]
+
+    def test_multiple_labels_rejected(self, layout):
+        compiler = Compiler()
+        layout.register(compiler)
+        tracks = compiler.tracks()
+        assignment = {tracks[layout.label_vars[LABEL_NIL]]: True,
+                      tracks[layout.label_vars[LABEL_LIM]]: True}
+        with pytest.raises(StoreError):
+            layout.word_to_symbols([assignment], tracks)
+
+    def test_no_label_rejected(self, layout):
+        compiler = Compiler()
+        layout.register(compiler)
+        with pytest.raises(StoreError):
+            layout.word_to_symbols([{}], compiler.tracks())
+
+
+class TestSymbolicStoreHelpers:
+    def test_memo1_caches_per_var(self):
+        calls = []
+
+        def build(p):
+            calls.append(p)
+            return p
+
+        fn = memo1(build)
+        a, b = fresh_pos("a"), fresh_pos("b")
+        assert fn(a) is fn(a)
+        fn(b)
+        assert calls == [a, b]
+
+    def test_memo2_caches_per_pair(self):
+        calls = []
+
+        def build(p, q):
+            calls.append((p, q))
+            return (p, q)
+
+        fn = memo2(build)
+        a, b = fresh_pos("a"), fresh_pos("b")
+        assert fn(a, b) is fn(a, b)
+        assert fn(b, a) is not None
+        assert len(calls) == 2
+
+    def test_initial_store_components(self, schema, layout):
+        state = initial_store(schema, layout)
+        assert set(state.var_pos) == {"x", "y", "p", "q"}
+        assert set(state.label_of) == set(layout.record_labels())
+        p = fresh_pos("t")
+        # derived predicates build without error and are cached
+        assert state.is_record(p) is state.is_record(p)
+        assert state.is_cell(p) is state.is_cell(p)
+        assert state.rec_of_type("Item")(p) is not None
+        assert state.has_field("next")(p) is not None
+        q = fresh_pos("t")
+        assert state.deref("next")(p, q) is state.deref("next")(p, q)
+        assert state.first_garbage(p) is not None
+        assert state.some_garbage() is not None
+        assert state.deref_defined("next")(p) is not None
+
+    def test_updated_shares_unchanged(self, schema, layout):
+        state = initial_store(schema, layout)
+        new_state = state.updated(garb=state.garb)
+        assert new_state.next_to is state.next_to
+        assert new_state is not state

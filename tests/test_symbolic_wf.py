@@ -1,0 +1,161 @@
+"""Tests for the two well-formedness predicates.
+
+``wf_string``'s language must be exactly the canonical encodings of
+well-formed stores: every encoding of a well-formed store is accepted,
+every accepted word decodes to a well-formed store, and hand-mutated
+ill-formed words are rejected.  ``wf_graph`` over the initial
+interpretation must be implied by ``wf_string``.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import StoreError
+from repro.mso.build import FormulaBuilder as F
+from repro.mso.compile import Compiler
+from repro.stores.encode import (LABEL_GARB, LABEL_LIM, LABEL_NIL, Symbol,
+                                 decode_store, encode_store, record_label)
+from repro.symbolic.layout import TrackLayout
+from repro.symbolic.state import initial_store
+from repro.symbolic.wf import wf_graph, wf_string
+
+from util import list_schema, random_store, terminator_schema
+
+
+@pytest.fixture(scope="module")
+def setting():
+    schema = list_schema()
+    compiler = Compiler()
+    layout = TrackLayout(schema)
+    layout.register(compiler)
+    automaton = compiler.compile(wf_string(layout))
+    return schema, compiler, layout, automaton
+
+
+def _word(layout, compiler, symbols):
+    return layout.symbols_to_word(symbols, compiler.tracks())
+
+
+class TestAcceptsWellFormed:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_well_formed_encodings_accepted(self, setting, seed):
+        schema, compiler, layout, automaton = setting
+        store = random_store(schema, random.Random(seed))
+        word = _word(layout, compiler, encode_store(store))
+        assert automaton.accepts(word)
+
+
+class TestLanguageIsDecodable:
+    def test_accepted_words_decode_to_well_formed_stores(self, setting):
+        """Enumerate shortest accepted words via product automata and
+        check a sample decodes."""
+        schema, compiler, layout, automaton = setting
+        shortest = automaton.shortest_accepted()
+        assert shortest is not None
+        symbols = layout.word_to_symbols(shortest, compiler.tracks())
+        store = decode_store(schema, symbols)
+        assert store.is_well_formed()
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_mutated_encodings_match_decoder(self, setting, seed):
+        """Random single-symbol mutations: the automaton accepts iff
+        the decoder produces a well-formed store."""
+        schema, compiler, layout, automaton = setting
+        rng = random.Random(seed)
+        store = random_store(schema, rng)
+        symbols = list(encode_store(store))
+        index = rng.randrange(len(symbols))
+        labels = [LABEL_NIL, LABEL_LIM, LABEL_GARB,
+                  record_label("Item", "red"),
+                  record_label("Item", "blue")]
+        names = list(schema.all_vars())
+        bitmap = frozenset(n for n in names if rng.random() < 0.3)
+        symbols[index] = Symbol(rng.choice(labels), bitmap)
+        try:
+            decoded = decode_store(schema, symbols)
+            expected = decoded.is_well_formed()
+        except StoreError:
+            expected = False
+        word = _word(layout, compiler, symbols)
+        assert automaton.accepts(word) == expected, symbols
+
+
+class TestRejections:
+    def test_empty_word_rejected(self, setting):
+        _, _, _, automaton = setting
+        assert not automaton.accepts([])
+
+    def test_missing_variable_rejected(self, setting):
+        schema, compiler, layout, automaton = setting
+        symbols = [Symbol(LABEL_NIL, frozenset({"x", "y", "p"})),
+                   Symbol(LABEL_LIM, frozenset()),
+                   Symbol(LABEL_LIM, frozenset())]  # q missing
+        assert not automaton.accepts(_word(layout, compiler, symbols))
+
+    def test_garbage_before_lim_rejected(self, setting):
+        schema, compiler, layout, automaton = setting
+        symbols = [Symbol(LABEL_NIL, frozenset(schema.all_vars())),
+                   Symbol(LABEL_GARB, frozenset()),
+                   Symbol(LABEL_LIM, frozenset()),
+                   Symbol(LABEL_LIM, frozenset())]
+        assert not automaton.accepts(_word(layout, compiler, symbols))
+
+    def test_two_labels_on_one_position_rejected(self, setting):
+        schema, compiler, layout, automaton = setting
+        store = random_store(schema, random.Random(1))
+        word = _word(layout, compiler, encode_store(store))
+        lim_track = compiler.tracks()[layout.label_vars[LABEL_LIM]]
+        word[0][lim_track] = True  # nil position also labelled lim
+        assert not automaton.accepts(word)
+
+    def test_no_label_rejected(self, setting):
+        schema, compiler, layout, automaton = setting
+        store = random_store(schema, random.Random(2))
+        word = _word(layout, compiler, encode_store(store))
+        nil_track = compiler.tracks()[layout.label_vars[LABEL_NIL]]
+        word[0][nil_track] = False
+        assert not automaton.accepts(word)
+
+
+class TestTerminatorVariants:
+    def test_nofield_cell_must_end_segment(self):
+        schema = terminator_schema()
+        compiler = Compiler()
+        layout = TrackLayout(schema)
+        layout.register(compiler)
+        automaton = compiler.compile(wf_string(layout))
+        good = [Symbol(LABEL_NIL, frozenset({"p"})),
+                Symbol(record_label("Node", "cons"), frozenset({"x"})),
+                Symbol(record_label("Node", "leaf"), frozenset()),
+                Symbol(LABEL_LIM, frozenset())]
+        bad = [Symbol(LABEL_NIL, frozenset({"p"})),
+               Symbol(record_label("Node", "leaf"), frozenset({"x"})),
+               Symbol(record_label("Node", "cons"), frozenset()),
+               Symbol(LABEL_LIM, frozenset())]
+        tracks = compiler.tracks()
+        assert automaton.accepts(layout.symbols_to_word(good, tracks))
+        assert not automaton.accepts(layout.symbols_to_word(bad, tracks))
+
+
+class TestWfGraph:
+    def test_wf_string_implies_wf_graph_of_initial(self):
+        schema = list_schema()
+        compiler = Compiler()
+        layout = TrackLayout(schema)
+        layout.register(compiler)
+        state = initial_store(schema, layout)
+        implication = F.implies(wf_string(layout), wf_graph(state))
+        assert compiler.is_valid(implication)
+
+    def test_wf_graph_alone_not_equivalent(self):
+        """wf_graph over the initial interpretation is weaker than the
+        canonical-encoding constraint (it ignores e.g. variable
+        singleton-ness)."""
+        schema = list_schema()
+        compiler = Compiler()
+        layout = TrackLayout(schema)
+        layout.register(compiler)
+        state = initial_store(schema, layout)
+        reverse = F.implies(wf_graph(state), wf_string(layout))
+        assert not compiler.is_valid(reverse)

@@ -1,0 +1,226 @@
+"""Tests for M2L on finite binary trees (the paper's §7 experiment).
+
+The compiler is differential-tested against brute-force evaluation
+over all tree shapes up to a size bound and all variable assignments,
+exactly like the string engine's oracle tests.
+"""
+
+import itertools
+
+import pytest
+
+from repro.mso.ast import Var, VarKind
+from repro.treemso import ast
+from repro.treemso.automata import TreeDfa
+from repro.treemso.compile import TreeCompiler
+from repro.treemso.interp import tree_evaluate, tree_with_assignment
+from repro.treemso.trees import Tree, all_shapes
+
+x = Var.first("x")
+y = Var.first("y")
+z = Var.first("z")
+X = Var.second("X")
+Y = Var.second("Y")
+
+
+def assert_matches_bruteforce(formula, max_size=3):
+    compiler = TreeCompiler()
+    dfa = compiler.compile(formula)
+    tracks = compiler.tracks()
+    free = sorted(formula.free_vars(), key=lambda v: v.name)
+    for size in range(max_size + 1):
+        for shape in all_shapes(size):
+            nodes = shape.nodes() if shape else []
+            for env in _assignments(free, nodes):
+                expected = tree_evaluate(formula, shape, env)
+                labeled = tree_with_assignment(shape, env, tracks)
+                assert dfa.accepts(labeled) == expected, \
+                    (size, env, expected)
+    return compiler
+
+
+def _assignments(free, nodes):
+    def go(rest, env):
+        if not rest:
+            yield dict(env)
+            return
+        var, tail = rest[0], rest[1:]
+        if var.kind is VarKind.FIRST:
+            for node in nodes:
+                env[var] = node
+                yield from go(tail, env)
+            env.pop(var, None)
+        else:
+            for size in range(len(nodes) + 1):
+                for combo in itertools.combinations(nodes, size):
+                    env[var] = frozenset(combo)
+                    yield from go(tail, env)
+            env.pop(var, None)
+
+    yield from go(free, {})
+
+
+ATOMS = [
+    ast.TMem(x, X),
+    ast.TSub(X, Y),
+    ast.TEqS(X, Y),
+    ast.TEmptyS(X),
+    ast.TSingletonS(X),
+    ast.EqF(x, y),
+    ast.Root(x),
+    ast.Child0(x, y),
+    ast.Child1(x, y),
+    ast.Anc(x, y),
+]
+
+
+@pytest.mark.parametrize("formula", ATOMS,
+                         ids=[type(a).__name__ for a in ATOMS])
+def test_atoms_match_bruteforce(formula):
+    assert_matches_bruteforce(formula)
+
+
+def test_boolean_combinations():
+    assert_matches_bruteforce(
+        ast.TAnd(ast.TMem(x, X), ast.TNot(ast.TMem(x, Y))))
+    assert_matches_bruteforce(ast.TOr(ast.Root(x), ast.Anc(x, y)))
+    assert_matches_bruteforce(
+        ast.TImplies(ast.Child0(x, y), ast.Anc(x, y)))
+
+
+def test_first_order_quantifiers():
+    r = Var.first("r")
+    assert_matches_bruteforce(ast.TEx1(r, ast.TMem(r, X)))
+    assert_matches_bruteforce(ast.TAll1(r, ast.TMem(r, X)))
+
+
+def test_second_order_quantifiers():
+    S = Var.second("S")
+    proper_superset = ast.TEx2(S, ast.TAnd(
+        ast.TSub(X, S), ast.TNot(ast.TEqS(X, S))))
+    assert_matches_bruteforce(proper_superset, max_size=3)
+
+
+class TestValidity:
+    def test_ancestor_transitive(self):
+        formula = ast.TImplies(
+            ast.TAnd(ast.Anc(x, y), ast.Anc(y, z)), ast.Anc(x, z))
+        assert TreeCompiler().is_valid(formula)
+
+    def test_children_are_descendants(self):
+        for node_type in (ast.Child0, ast.Child1):
+            formula = ast.TImplies(node_type(x, y), ast.Anc(x, y))
+            assert TreeCompiler().is_valid(formula)
+
+    def test_root_has_no_ancestor(self):
+        formula = ast.TImplies(
+            ast.TAnd(ast.Root(x), ast.Anc(y, x)), ast.TFALSE)
+        assert TreeCompiler().is_valid(formula)
+
+    def test_ancestor_antisymmetric(self):
+        formula = ast.TImplies(ast.Anc(x, y),
+                               ast.TNot(ast.Anc(y, x)))
+        assert TreeCompiler().is_valid(formula)
+
+    def test_not_valid(self):
+        assert not TreeCompiler().is_valid(ast.Anc(x, y))
+
+    def test_tree_induction(self):
+        """Root in X and X closed under both child relations imply
+        every node is in X — structural induction, the tree analogue
+        of the string induction test."""
+        r, a, b = (Var.first(n) for n in ("r", "a", "b"))
+        c = Var.first("c")
+        root_in = ast.TEx1(r, ast.TAnd(ast.Root(r), ast.TMem(r, X)))
+        closed = ast.TAll1(a, ast.TAll1(b, ast.TImplies(
+            ast.TAnd(ast.TMem(a, X),
+                     ast.TOr(ast.Child0(a, b), ast.Child1(a, b))),
+            ast.TMem(b, X))))
+        everything = ast.TAll1(c, ast.TMem(c, X))
+        formula = ast.TImplies(ast.TAnd(root_in, closed), everything)
+        assert TreeCompiler().is_valid(formula)
+
+
+class TestAutomatonOperations:
+    def test_complement_and_witness(self):
+        compiler = TreeCompiler()
+        dfa = compiler.compile(ast.TEx1(Var.first("r"), ast.TTRUE))
+        # accepts exactly the nonempty trees
+        assert not dfa.accepts(None)
+        assert dfa.accepts(Tree({}))
+        witness = dfa.smallest_accepted()
+        assert witness is not None
+        tree = witness[0]
+        assert tree is not None and tree.size() == 1
+        comp = dfa.complement()
+        assert comp.accepts(None)
+        assert comp.smallest_accepted() == (None,)
+
+    def test_minimize_preserves_language(self):
+        compiler = TreeCompiler(minimize_during=False)
+        dfa = compiler.compile(ast.TAnd(ast.TMem(x, X),
+                                        ast.Root(x)))
+        mini = dfa.minimize()
+        assert mini.num_states <= dfa.num_states
+        for size in range(3):
+            for shape in all_shapes(size):
+                nodes = shape.nodes() if shape else []
+                for env in _assignments([x, X], nodes):
+                    labeled = tree_with_assignment(
+                        shape, env, compiler.tracks())
+                    assert dfa.accepts(labeled) == mini.accepts(labeled)
+
+    def test_is_universal(self):
+        compiler = TreeCompiler()
+        dfa = compiler.compile(ast.TTRUE)
+        assert dfa.is_universal()
+        assert not compiler.compile(ast.TFALSE).accepts(None)
+
+    def test_product_requires_shared_manager(self):
+        a = TreeCompiler().compile(ast.TTRUE)
+        b = TreeCompiler().compile(ast.TTRUE)
+        with pytest.raises(ValueError):
+            a.intersect(b)
+
+    def test_stats_recorded(self):
+        compiler = TreeCompiler()
+        compiler.compile(ast.TAnd(ast.TMem(x, X), ast.TMem(y, Y)))
+        assert compiler.stats.max_states > 0
+        assert compiler.stats.products >= 1
+
+
+class TestTrees:
+    def test_shapes_are_catalan(self):
+        assert sum(1 for _ in all_shapes(3)) == 5
+        assert sum(1 for _ in all_shapes(4)) == 14
+
+    def test_nodes_and_size(self):
+        tree = Tree({}, Tree({}), Tree({}, Tree({})))
+        assert tree.size() == 4
+        assert len(tree.nodes()) == 4
+
+    def test_render(self):
+        tree = Tree({0: True}, Tree({}), None)
+        text = tree.render({0: "x"})
+        assert "x" in text
+        assert "L:" in text
+
+
+class TestPretty:
+    def test_atoms(self):
+        from repro.treemso.pretty import pretty_tree_formula as pp
+        assert pp(ast.TMem(x, X)) == "x in $X"
+        assert pp(ast.Root(x)) == "root(x)"
+        assert pp(ast.Child0(x, y)) == "y = left(x)"
+        assert pp(ast.Child1(x, y)) == "y = right(x)"
+        assert pp(ast.Anc(x, y)) == "x < y"
+        assert pp(ast.TTRUE) == "true"
+
+    def test_structure(self):
+        from repro.treemso.pretty import pretty_tree_formula as pp
+        formula = ast.TEx1(x, ast.TImplies(
+            ast.Root(x), ast.TAnd(ast.TMem(x, X),
+                                  ast.TNot(ast.TMem(x, Y)))))
+        text = pp(formula)
+        assert text.startswith("ex1 x:")
+        assert "~" in text and "=>" in text

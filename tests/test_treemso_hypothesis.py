@@ -1,0 +1,123 @@
+"""Property-based differential testing of the tree-logic compiler.
+
+Random tree formulas over a fixed variable pool are compiled and
+compared against brute-force evaluation on all trees up to 3 nodes —
+the same oracle discipline as the string engine's hypothesis tests.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mso.ast import Var, VarKind
+from repro.treemso import ast
+from repro.treemso.compile import TreeCompiler
+from repro.treemso.interp import tree_evaluate, tree_with_assignment
+from repro.treemso.trees import all_shapes
+
+FO = [Var.first(name) for name in ("u", "v")]
+SO = [Var.second(name) for name in ("A", "B")]
+
+
+def _atoms():
+    fo = st.sampled_from(FO)
+    so = st.sampled_from(SO)
+    return st.one_of(
+        st.tuples(fo, so).map(lambda t: ast.TMem(*t)),
+        st.tuples(so, so).map(lambda t: ast.TSub(*t)),
+        st.tuples(so, so).map(lambda t: ast.TEqS(*t)),
+        st.tuples(fo, fo).map(lambda t: ast.EqF(*t)),
+        st.tuples(fo, fo).map(lambda t: ast.Child0(*t)),
+        st.tuples(fo, fo).map(lambda t: ast.Child1(*t)),
+        st.tuples(fo, fo).map(lambda t: ast.Anc(*t)),
+        fo.map(ast.Root),
+        so.map(ast.TEmptyS),
+        so.map(ast.TSingletonS),
+        st.just(ast.TTRUE),
+    )
+
+
+def _quantify(child, kind):
+    if kind in ("ex1", "all1"):
+        fresh = Var.fresh("b", VarKind.FIRST)
+        link = ast.TOr(ast.TMem(fresh, SO[0]), ast.EqF(fresh, FO[0]))
+        body = ast.TAnd(link, child) if kind == "ex1" \
+            else ast.TImplies(link, child)
+        return ast.TEx1(fresh, body) if kind == "ex1" \
+            else ast.TAll1(fresh, body)
+    fresh = Var.fresh("S", VarKind.SECOND)
+    link = ast.TSub(fresh, SO[1])
+    if kind == "ex2":
+        return ast.TEx2(fresh, ast.TAnd(link, child))
+    return ast.TAll2(fresh, ast.TImplies(link, child))
+
+
+def _formulas():
+    return st.recursive(
+        _atoms(),
+        lambda children: st.one_of(
+            st.tuples(children, children).map(
+                lambda t: ast.TAnd(*t)),
+            st.tuples(children, children).map(
+                lambda t: ast.TOr(*t)),
+            st.tuples(children, children).map(
+                lambda t: ast.TImplies(*t)),
+            children.map(ast.TNot),
+            st.tuples(children, st.sampled_from(
+                ["ex1", "all1", "ex2", "all2"])).map(
+                lambda t: _quantify(t[0], t[1])),
+        ),
+        max_leaves=4)
+
+
+def _assignments(free, nodes):
+    fo = [v for v in free if v.kind is VarKind.FIRST]
+    so = [v for v in free if v.kind is VarKind.SECOND]
+    subsets = [frozenset(c) for size in range(len(nodes) + 1)
+               for c in itertools.combinations(nodes, size)]
+    for fo_values in itertools.product(nodes, repeat=len(fo)):
+        for so_values in itertools.product(subsets, repeat=len(so)):
+            env = dict(zip(fo, fo_values))
+            env.update(zip(so, so_values))
+            yield env
+
+
+@settings(max_examples=60, deadline=None)
+@given(_formulas())
+def test_tree_compiler_matches_bruteforce(formula):
+    compiler = TreeCompiler()
+    dfa = compiler.compile(formula)
+    tracks = compiler.tracks()
+    free = sorted(formula.free_vars(), key=lambda v: v.name)
+    needs_node = any(v.kind is VarKind.FIRST for v in free)
+    for size in range(4):
+        if size == 0 and needs_node:
+            continue
+        for shape in all_shapes(size):
+            nodes = shape.nodes() if shape else []
+            for env in _assignments(free, nodes):
+                expected = tree_evaluate(formula, shape, env)
+                labeled = tree_with_assignment(shape, env, tracks)
+                assert dfa.accepts(labeled) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(_formulas())
+def test_tree_negation_flips(formula):
+    compiler = TreeCompiler()
+    dfa = compiler.compile(formula)
+    negated = TreeCompiler()
+    ndfa = negated.compile(ast.TNot(formula))
+    free = sorted(formula.free_vars(), key=lambda v: v.name)
+    needs_node = any(v.kind is VarKind.FIRST for v in free)
+    for size in range(3):
+        if size == 0 and needs_node:
+            continue
+        for shape in all_shapes(size):
+            nodes = shape.nodes() if shape else []
+            for env in _assignments(free, nodes):
+                a = dfa.accepts(tree_with_assignment(
+                    shape, env, compiler.tracks()))
+                b = ndfa.accepts(tree_with_assignment(
+                    shape, env, negated.tracks()))
+                assert a != b

@@ -1,0 +1,105 @@
+"""The docs/TUTORIAL.md walkthrough, executed.
+
+Each stage of the tutorial's drop-two-cells example must behave
+exactly as the prose claims: the naive version fails on the empty
+list, the ``<> nil`` precondition is vacuously satisfied by the same
+store (the partial-term trap), the ``ex c:`` definedness precondition
+fixes the dereference but leaves the variant mismatch, and the final
+version verifies with an exactly-two-cells-freed postcondition.
+"""
+
+import pytest
+
+from repro.verify import verify_source
+
+HEADER = """
+program drop2;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+"""
+
+NAIVE_BODY = """
+  p := x^.next^.next;
+  q := x^.next;
+  dispose(q, red);
+  q := x;
+  dispose(q, red);
+  x := p;
+  p := nil; q := nil
+end.
+"""
+
+CAREFUL_BODY = """
+  p := x^.next^.next;
+  q := x^.next;
+  if q^.tag = red then dispose(q, red) else dispose(q, blue);
+  q := x;
+  if q^.tag = red then dispose(q, red) else dispose(q, blue);
+  x := p;
+  p := nil; q := nil
+end.
+"""
+
+
+def test_stage1_naive_fails_on_empty_list():
+    result = verify_source(HEADER + NAIVE_BODY)
+    assert not result.valid
+    ce = result.counterexample
+    assert len(ce.symbols) == 2  # [nil,...] [lim] — the empty list
+    assert "nil" in ce.explanation
+
+
+def test_stage2_neq_nil_is_vacuous():
+    """`x^.next^.next <> nil` excludes nothing when the path is
+    undefined: the same empty store satisfies it."""
+    source = HEADER + "  {x^.next^.next <> nil}" + NAIVE_BODY
+    result = verify_source(source)
+    assert not result.valid
+    assert len(result.counterexample.symbols) == 2
+
+
+def test_stage3_definedness_fixes_the_dereference():
+    """With `ex c: ...= c` the nil dereference is gone; the remaining
+    counterexample is the variant mismatch on dispose."""
+    source = HEADER + "  {ex c: x^.next^.next = c}" + NAIVE_BODY
+    result = verify_source(source)
+    assert not result.valid
+    assert "dispose" in result.counterexample.explanation
+
+
+def test_stage4_final_version_verifies():
+    source = (HEADER
+              + "  {ex c: x^.next^.next = c & ~(ex g: <garb?>g)}"
+              + CAREFUL_BODY.replace(
+                  "end.",
+                  "  {ex g, h: <garb?>g & <garb?>h & g <> h\n"
+                  "    & (all r: <garb?>r => (r = g | r = h))}\nend."))
+    result = verify_source(source)
+    assert result.valid, result.counterexample and \
+        result.counterexample.render()
+
+
+def test_trailing_pointer_pattern_from_tutorial():
+    source = """
+program trail;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {q = nil}
+  p := x;
+  while p <> nil do
+    {q = nil | q^.next = p}
+    begin q := p; p := p^.next end
+  {p = nil & (q = nil | q^.next = nil)}
+end.
+"""
+    assert verify_source(source).valid

@@ -1,0 +1,132 @@
+"""Tests for the weakest-precondition automata (paper §4).
+
+Cross-validates the paper's two formulations of triple validity —
+implication checking (the engine) and language inclusion
+``L(pre) ∩ L(alloc) ⊆ L(wp)`` — and checks the paper's concrete claim
+that the wp of the §4 triple equals ``pre & alloc``.
+"""
+
+import pytest
+
+from repro.pascal import check_program, parse_program
+from repro.programs import TRIPLE
+from repro.stores.encode import encode_store
+from repro.verify import verify_source
+from repro.verify.wp import (triple_is_valid_by_inclusion, wp_automaton)
+
+from util import list_schema, store_with_lists, wrap_program
+
+
+def build(body, pre="", post=""):
+    return check_program(parse_program(wrap_program(body, pre=pre,
+                                                    post=post)))
+
+
+class TestWpMembership:
+    def test_wp_of_skip_is_wellformedness(self):
+        program = build("  x := x")
+        result = wp_automaton(program, program.body)
+        schema = program.schema
+        good = store_with_lists(schema, {"x": ["red"]})
+        assert result.accepts_store(good)
+
+    def test_wp_excludes_error_stores(self):
+        program = build("  p := x^.next")
+        result = wp_automaton(program, program.body)
+        schema = program.schema
+        empty = store_with_lists(schema, {})          # x = nil: error
+        full = store_with_lists(schema, {"x": ["red", "red"]})
+        assert not result.accepts_store(empty)
+        assert result.accepts_store(full)
+
+    def test_wp_respects_postcondition(self):
+        program = build("  p := x")
+        result = wp_automaton(program, program.body, "p <> nil")
+        schema = program.schema
+        assert result.accepts_store(
+            store_with_lists(schema, {"x": ["red"]}))
+        assert not result.accepts_store(store_with_lists(schema, {}))
+
+    def test_oom_stores_are_excused(self):
+        program = build("  new(p, red);\n  p^.next := x;\n  x := p")
+        result = wp_automaton(program, program.body)
+        schema = program.schema
+        no_memory = store_with_lists(schema, {"x": ["red"]})
+        with_memory = store_with_lists(schema, {"x": ["red"]},
+                                       garbage=1)
+        assert result.accepts_store(no_memory)   # excused
+        assert result.accepts_store(with_memory)
+        word = result.layout.symbols_to_word(
+            encode_store(no_memory), result.compiler.tracks())
+        assert result.oom_automaton.accepts(word)
+
+    def test_smallest_store_synthesis(self):
+        program = build("  p := x^.next", post="p <> nil")
+        result = wp_automaton(program, program.body, "p <> nil")
+        store = result.smallest_store(program.schema)
+        assert store is not None
+        # needs at least two cells: x -> c1 -> c2 so p = c2 != nil
+        assert len(store.list_of("x")) >= 2
+
+
+class TestInclusionFormulation:
+    @pytest.mark.parametrize("pre,post,expected", [
+        ("x <> nil", "p <> nil", True),    # p := x inherits x <> nil
+        ("x <> nil", "p = x^.next | p = nil", False),
+        (None, "p = x", True),
+        ("x = nil", "p = nil", True),
+    ])
+    def test_assignment_triples(self, pre, post, expected):
+        program = build("  p := x")
+        assert triple_is_valid_by_inclusion(
+            program, program.body, pre, post) is expected
+
+    def test_agrees_with_engine_on_valid_triple(self):
+        source = wrap_program("  p := x", pre="x <> nil",
+                              post="p = x & p <> nil")
+        assert verify_source(source).valid
+        program = check_program(parse_program(source))
+        assert triple_is_valid_by_inclusion(
+            program, program.body, "x <> nil", "p = x & p <> nil")
+
+    def test_agrees_with_engine_on_invalid_triple(self):
+        source = wrap_program("  p := x^.next", post="p <> nil")
+        assert not verify_source(source).valid
+        program = check_program(parse_program(source))
+        assert not triple_is_valid_by_inclusion(
+            program, program.body, None, "p <> nil")
+
+
+class TestPaperTriple:
+    """§4's worked example: its wp equals pre & alloc."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        program = check_program(parse_program(TRIPLE))
+        result = wp_automaton(
+            program, program.body,
+            "x<next*>q & q^.next = nil & p <> q")
+        return program, result
+
+    def test_triple_valid_by_inclusion(self, setup):
+        program, _ = setup
+        assert triple_is_valid_by_inclusion(
+            program, program.body,
+            "x<next*>p & p^.next = nil",
+            "x<next*>q & q^.next = nil & p <> q")
+
+    def test_wp_contains_pre_and_alloc_stores(self, setup):
+        program, result = setup
+        schema = program.schema
+        store = store_with_lists(schema, {"x": ["red", "blue"]},
+                                 {"p": ("x", 1)}, garbage=1)
+        assert result.accepts_store(store)
+
+    def test_wp_rejects_pre_violations_with_memory(self, setup):
+        """With memory available (not excused), a store violating the
+        paper's precondition (p not last) is outside the wp."""
+        program, result = setup
+        schema = program.schema
+        store = store_with_lists(schema, {"x": ["red", "blue"]},
+                                 {"p": ("x", 0)}, garbage=1)
+        assert not result.accepts_store(store)

@@ -1,0 +1,171 @@
+"""Shared helpers for the test suite.
+
+Provides the paper's canonical list schema, store builders, random
+store/program generators for differential tests, and small brute-force
+oracles.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.stores.model import NIL_ID, Store
+from repro.stores.schema import FieldInfo, RecordType, Schema
+
+VARIANTS = ("red", "blue")
+
+
+def list_schema(data_vars: Tuple[str, ...] = ("x", "y"),
+                pointer_vars: Tuple[str, ...] = ("p", "q")) -> Schema:
+    """The paper's Color/List/Item schema with the given variables."""
+    schema = Schema(
+        enums={"Color": VARIANTS},
+        records={"Item": RecordType(
+            "Item", "tag", "Color",
+            {"red": FieldInfo("next", "Item"),
+             "blue": FieldInfo("next", "Item")})},
+        data_vars={name: "Item" for name in data_vars},
+        pointer_vars={name: "Item" for name in pointer_vars},
+        pointer_aliases={"List": "Item"},
+    )
+    schema.validate()
+    return schema
+
+
+def terminator_schema() -> Schema:
+    """A schema whose ``leaf`` variant has no pointer field."""
+    schema = Schema(
+        enums={"Kind": ("cons", "leaf")},
+        records={"Node": RecordType(
+            "Node", "tag", "Kind",
+            {"cons": FieldInfo("next", "Node"), "leaf": None})},
+        data_vars={"x": "Node"},
+        pointer_vars={"p": "Node"},
+        pointer_aliases={"NodePtr": "Node"},
+    )
+    schema.validate()
+    return schema
+
+
+def store_with_lists(schema: Schema,
+                     lists: Dict[str, List[str]],
+                     pointers: Optional[Dict[str, Tuple[str, int]]] = None,
+                     garbage: int = 0) -> Store:
+    """Build a well-formed store.
+
+    ``lists`` maps each data variable to its variant sequence;
+    ``pointers`` maps pointer variables to (data var, index) cells
+    (omitted pointer variables stay nil); ``garbage`` adds that many
+    garbage cells.
+    """
+    store = Store(schema)
+    cell_ids: Dict[str, List[int]] = {}
+    for name in schema.data_vars:
+        cell_ids[name] = store.make_list(name, lists.get(name, []))
+    for name, binding in (pointers or {}).items():
+        owner, index = binding
+        store.set_var(name, cell_ids[owner][index])
+    for _ in range(garbage):
+        store.add_garbage()
+    return store
+
+
+def random_store(schema: Schema, rng: random.Random,
+                 max_len: int = 3, max_garbage: int = 2) -> Store:
+    """A random well-formed store over the schema."""
+    store = Store(schema)
+    cells: List[int] = [NIL_ID]
+    for name in schema.data_vars:
+        length = rng.randint(0, max_len)
+        variants = [rng.choice(VARIANTS) for _ in range(length)]
+        cells.extend(store.make_list(name, variants))
+    for name in schema.pointer_vars:
+        store.set_var(name, rng.choice(cells))
+    for _ in range(rng.randint(0, max_garbage)):
+        store.add_garbage()
+    assert store.is_well_formed(), store.violations()
+    return store
+
+
+PROGRAM_HEADER = """\
+program {name};
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{{data}} var x, y: List;
+{{pointer}} var p, q: List;
+begin
+{body}
+end.
+"""
+
+
+def wrap_program(body: str, name: str = "t",
+                 pre: str = "", post: str = "") -> str:
+    """Wrap a statement body in the canonical program skeleton."""
+    lines = []
+    if pre:
+        lines.append(f"  {{{pre}}}")
+    lines.append(body.rstrip())
+    if post:
+        lines.append(f"  {{{post}}}")
+    return PROGRAM_HEADER.format(name=name, body="\n".join(lines))
+
+
+_STATEMENT_TEMPLATES = [
+    "{v} := {w}",
+    "{v} := nil",
+    "{v} := {w}^.next",
+    "{v}^.next := {w}",
+    "{v}^.next := nil",
+    "new({pq}, {variant})",
+    "dispose({v}, {variant})",
+]
+
+_GUARD_TEMPLATES = [
+    "{v} = {w}",
+    "{v} <> nil",
+    "{v} = nil",
+    "{v}^.tag = {variant}",
+    "{v}^.next = {w}",
+]
+
+ALL_VARS = ("x", "y", "p", "q")
+
+
+def random_statement(rng: random.Random, depth: int = 0) -> str:
+    """One random statement (possibly a conditional)."""
+    if depth < 1 and rng.random() < 0.25:
+        guard = _random_guard(rng)
+        then_branch = random_statement(rng, depth + 1)
+        if rng.random() < 0.5:
+            else_branch = random_statement(rng, depth + 1)
+            return (f"if {guard} then begin {then_branch} end "
+                    f"else begin {else_branch} end")
+        return f"if {guard} then begin {then_branch} end"
+    template = rng.choice(_STATEMENT_TEMPLATES)
+    return template.format(v=rng.choice(ALL_VARS),
+                           w=rng.choice(ALL_VARS),
+                           pq=rng.choice(("p", "q")),
+                           variant=rng.choice(VARIANTS))
+
+
+def _random_guard(rng: random.Random) -> str:
+    guard = rng.choice(_GUARD_TEMPLATES).format(
+        v=rng.choice(ALL_VARS), w=rng.choice(ALL_VARS),
+        variant=rng.choice(VARIANTS))
+    if rng.random() < 0.3:
+        other = rng.choice(_GUARD_TEMPLATES).format(
+            v=rng.choice(ALL_VARS), w=rng.choice(ALL_VARS),
+            variant=rng.choice(VARIANTS))
+        joiner = rng.choice(("and", "or"))
+        return f"{guard} {joiner} {other}"
+    return guard
+
+
+def random_body(rng: random.Random, length: int) -> str:
+    """A random loop-free statement sequence."""
+    statements = [random_statement(rng) for _ in range(length)]
+    return ";\n".join("  " + statement for statement in statements)
