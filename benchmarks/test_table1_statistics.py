@@ -12,6 +12,8 @@ cheapest, and the allocation/deallocation-heavy programs (`insert`,
 `delete`, `zip`, `rotate`) dominate states and nodes.
 """
 
+import json
+
 import pytest
 
 from repro.programs import TABLE_PROGRAMS
@@ -48,6 +50,32 @@ def test_table1_emit_artifact():
         out.write(table + "\n")
     print()
     print(table)
+
+
+def test_table1_emit_json():
+    """The machine-readable companion of table1.txt: the full run
+    report of every table program (per-subgoal stats included), the
+    seed of the benchmark trajectory."""
+    assert len(_RESULTS) == len(TABLE_PROGRAMS)
+    document = {
+        "schema_version": 1,
+        "programs": [_RESULTS[name].to_dict()
+                     for name in TABLE_PROGRAMS],
+    }
+    with open(artifact_path("table1.json"), "w",
+              encoding="utf-8") as out:
+        json.dump(document, out, indent=2)
+        out.write("\n")
+    # Round-trip sanity: the document is self-contained JSON with the
+    # columns of the text table recoverable from it.
+    with open(artifact_path("table1.json"), encoding="utf-8") as src:
+        loaded = json.load(src)
+    assert [entry["program"] for entry in loaded["programs"]] == \
+        list(TABLE_PROGRAMS)
+    for entry in loaded["programs"]:
+        assert entry["valid"]
+        assert entry["stats"]["bdd_apply_misses"] > 0
+        assert entry["max_states"] > 0
 
 
 def test_table1_shape():

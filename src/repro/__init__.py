@@ -39,7 +39,8 @@ from repro.stores import (Store, decode_store, encode_store, render_store,
                           render_symbols)
 from repro.verify import (Counterexample, VerificationResult, Verifier,
                           format_result, verify_program, verify_source)
-from repro.verify.report import format_table, format_table_row
+from repro.verify.report import (format_json, format_table,
+                                 format_table_row, format_timing_tree)
 
 __version__ = "1.0.0"
 
@@ -48,7 +49,8 @@ __all__ = [
     "Store", "StoreError", "TranslationError", "TypeError_",
     "VerificationError", "VerificationResult", "Verifier",
     "check_formula", "check_program", "decode_store", "encode_store",
-    "eval_formula", "format_result", "format_table", "format_table_row",
-    "parse_formula", "parse_program", "render_store", "render_symbols",
-    "verify_program", "verify_source",
+    "eval_formula", "format_json", "format_result", "format_table",
+    "format_table_row", "format_timing_tree", "parse_formula",
+    "parse_program", "render_store", "render_symbols", "verify_program",
+    "verify_source",
 ]

@@ -23,6 +23,7 @@ from typing import (Callable, Dict, FrozenSet, Hashable, List, Mapping,
                     Optional, Sequence, Set, Tuple)
 
 from repro.bdd.mtbdd import Mtbdd
+from repro.obs import trace as obs_trace
 
 Assignment = Mapping[int, bool]
 
@@ -114,34 +115,46 @@ class SymbolicDfa:
         """
         if other.mgr is not self.mgr:
             raise ValueError("product requires a shared MTBDD manager")
-        mgr = self.mgr
-        pair_key = _fresh_key("pair")
-        index: Dict[Tuple[int, int], int] = {}
-        delta: List[int] = []
-        accepting: Set[int] = set()
-        order: List[Tuple[int, int]] = []
+        with obs_trace.span("automata.product", detail=True) as sp:
+            mgr = self.mgr
+            pair_key = _fresh_key("pair")
+            index: Dict[Tuple[int, int], int] = {}
+            delta: List[int] = []
+            accepting: Set[int] = set()
+            order: List[Tuple[int, int]] = []
 
-        def state_of(pair: Hashable) -> int:
-            found = index.get(pair)  # type: ignore[arg-type]
-            if found is None:
-                found = len(index)
-                index[pair] = found  # type: ignore[index]
-                order.append(pair)  # type: ignore[arg-type]
-            return found
+            def state_of(pair: Hashable) -> int:
+                found = index.get(pair)  # type: ignore[arg-type]
+                if found is None:
+                    found = len(index)
+                    index[pair] = found  # type: ignore[index]
+                    order.append(pair)  # type: ignore[arg-type]
+                return found
 
-        start = state_of((self.initial, other.initial))
-        cursor = 0
-        rename_key = _fresh_key("pair-rename")
-        while cursor < len(order):
-            left, right = order[cursor]
-            pair_delta = mgr.apply2(pair_key, lambda a, b: (a, b),
-                                    self.delta[left], other.delta[right])
-            delta.append(mgr.map_leaves(rename_key, state_of, pair_delta))
-            if accept(left in self.accepting, right in other.accepting):
-                accepting.add(cursor)
-            cursor += 1
-        return SymbolicDfa(mgr=mgr, num_states=len(order), initial=start,
-                           accepting=frozenset(accepting), delta=delta)
+            start = state_of((self.initial, other.initial))
+            cursor = 0
+            rename_key = _fresh_key("pair-rename")
+            while cursor < len(order):
+                left, right = order[cursor]
+                pair_delta = mgr.apply2(pair_key, lambda a, b: (a, b),
+                                        self.delta[left],
+                                        other.delta[right])
+                delta.append(mgr.map_leaves(rename_key, state_of,
+                                            pair_delta))
+                if accept(left in self.accepting,
+                          right in other.accepting):
+                    accepting.add(cursor)
+                cursor += 1
+            result = SymbolicDfa(mgr=mgr, num_states=len(order),
+                                 initial=start,
+                                 accepting=frozenset(accepting),
+                                 delta=delta)
+            if sp:
+                sp.annotate(left_states=self.num_states,
+                            right_states=other.num_states,
+                            states=result.num_states,
+                            nodes=result.bdd_node_count())
+            return result
 
     def intersect(self, other: "SymbolicDfa") -> "SymbolicDfa":
         """Language intersection."""
@@ -165,20 +178,24 @@ class SymbolicDfa:
         The result is nondeterministic; determinise to get back a DFA.
         This implements existential quantification in M2L.
         """
-        mgr = self.mgr
-        lift_key = _fresh_key("lift")
-        union_key = _fresh_key("setunion")
-        delta: List[int] = []
-        for q in range(self.num_states):
-            lo = mgr.restrict(self.delta[q], {track: False})
-            hi = mgr.restrict(self.delta[q], {track: True})
-            lo_set = mgr.map_leaves(lift_key, lambda s: frozenset([s]), lo)
-            hi_set = mgr.map_leaves(lift_key, lambda s: frozenset([s]), hi)
-            delta.append(mgr.apply2(union_key, lambda a, b: a | b,
-                                    lo_set, hi_set))
-        return SymbolicNfa(mgr=mgr, num_states=self.num_states,
-                           initial=frozenset([self.initial]),
-                           accepting=self.accepting, delta=delta)
+        with obs_trace.span("automata.project", detail=True,
+                            track=track, states=self.num_states):
+            mgr = self.mgr
+            lift_key = _fresh_key("lift")
+            union_key = _fresh_key("setunion")
+            delta: List[int] = []
+            for q in range(self.num_states):
+                lo = mgr.restrict(self.delta[q], {track: False})
+                hi = mgr.restrict(self.delta[q], {track: True})
+                lo_set = mgr.map_leaves(lift_key,
+                                        lambda s: frozenset([s]), lo)
+                hi_set = mgr.map_leaves(lift_key,
+                                        lambda s: frozenset([s]), hi)
+                delta.append(mgr.apply2(union_key, lambda a, b: a | b,
+                                        lo_set, hi_set))
+            return SymbolicNfa(mgr=mgr, num_states=self.num_states,
+                               initial=frozenset([self.initial]),
+                               accepting=self.accepting, delta=delta)
 
     # ------------------------------------------------------------------
     # Minimisation
@@ -216,6 +233,15 @@ class SymbolicDfa:
         numbers, are the *same diagram* — an O(1) comparison thanks to
         hash-consing.
         """
+        with obs_trace.span("automata.minimize", detail=True) as sp:
+            result = self._minimize()
+            if sp:
+                sp.annotate(states_before=self.num_states,
+                            states=result.num_states,
+                            nodes=result.bdd_node_count())
+            return result
+
+    def _minimize(self) -> "SymbolicDfa":
         dfa = self.trim()
         mgr = dfa.mgr
         block = [1 if q in dfa.accepting else 0
@@ -351,6 +377,15 @@ class SymbolicNfa:
 
     def determinize(self) -> SymbolicDfa:
         """Subset construction directly on the shared diagrams."""
+        with obs_trace.span("automata.determinize", detail=True) as sp:
+            result = self._determinize()
+            if sp:
+                sp.annotate(nfa_states=self.num_states,
+                            states=result.num_states,
+                            nodes=result.bdd_node_count())
+            return result
+
+    def _determinize(self) -> SymbolicDfa:
         mgr = self.mgr
         union_key = _fresh_key("det-union")
         rename_key = _fresh_key("det-rename")

@@ -41,6 +41,16 @@ class Mtbdd:
         self._map_memo: Dict[Tuple[object, int], int] = {}
         self._restrict_memo: Dict[
             Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
+        # Always-on cache statistics (plain ints: these sit inside the
+        # hottest recursions, so no registry indirection).  A "hit" is
+        # a memo-table return; a "miss" is a computed-and-inserted
+        # result.  Recursive calls count individually.
+        self.apply_hits = 0
+        self.apply_misses = 0
+        self.map_hits = 0
+        self.map_misses = 0
+        self.restrict_hits = 0
+        self.restrict_misses = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -95,6 +105,30 @@ class Mtbdd:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    @property
+    def unique_table_size(self) -> int:
+        """Internal (decision) nodes in the unique table."""
+        return len(self._unique)
+
+    @property
+    def peak_nodes(self) -> int:
+        """Total nodes ever created (nodes are never freed, so this is
+        also the peak live count — the paper's space measure)."""
+        return len(self._nodes)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Memo-cache hit/miss counters and table sizes, JSON-ready."""
+        return {
+            "apply_hits": self.apply_hits,
+            "apply_misses": self.apply_misses,
+            "map_hits": self.map_hits,
+            "map_misses": self.map_misses,
+            "restrict_hits": self.restrict_hits,
+            "restrict_misses": self.restrict_misses,
+            "unique_table_size": self.unique_table_size,
+            "peak_nodes": self.peak_nodes,
+        }
+
     # ------------------------------------------------------------------
     # Combinators
     # ------------------------------------------------------------------
@@ -111,7 +145,9 @@ class Mtbdd:
         key = (op_key, f, g)
         cached = self._apply_memo.get(key)
         if cached is not None:
+            self.apply_hits += 1
             return cached
+        self.apply_misses += 1
         level_f, level_g = self._nodes[f][0], self._nodes[g][0]
         if level_f == LEAF_LEVEL and level_g == LEAF_LEVEL:
             result = self.leaf(op(self.leaf_value(f), self.leaf_value(g)))
@@ -134,7 +170,9 @@ class Mtbdd:
         key = (op_key, f)
         cached = self._map_memo.get(key)
         if cached is not None:
+            self.map_hits += 1
             return cached
+        self.map_misses += 1
         level, lo, hi = self._nodes[f]
         if level == LEAF_LEVEL:
             result = self.leaf(op(lo))
@@ -160,7 +198,9 @@ class Mtbdd:
         key = (f, frozen)
         cached = self._restrict_memo.get(key)
         if cached is not None:
+            self.restrict_hits += 1
             return cached
+        self.restrict_misses += 1
         if level in assignment:
             branch = hi if assignment[level] else lo
             result = self._restrict(branch, frozen, assignment)  # type: ignore[arg-type]

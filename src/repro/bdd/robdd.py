@@ -42,6 +42,15 @@ class Bdd:
         self._quant_memo: Dict[Tuple[int, int, frozenset], int] = {}
         self._restrict_memo: Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
         self._compose_memo: Dict[Tuple[int, int, int], int] = {}
+        # Always-on cache statistics (plain ints on the hot recursions).
+        self.apply_hits = 0
+        self.apply_misses = 0
+        self.ite_hits = 0
+        self.ite_misses = 0
+        self.quant_hits = 0
+        self.quant_misses = 0
+        self.restrict_hits = 0
+        self.restrict_misses = 0
 
     # ------------------------------------------------------------------
     # Node construction
@@ -95,6 +104,31 @@ class Bdd:
     def __len__(self) -> int:
         return len(self._nodes)
 
+    @property
+    def unique_table_size(self) -> int:
+        """Internal (decision) nodes in the unique table."""
+        return len(self._unique)
+
+    @property
+    def peak_nodes(self) -> int:
+        """Total nodes ever created (never freed, so also the peak)."""
+        return len(self._nodes)
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Memo-cache hit/miss counters and table sizes, JSON-ready."""
+        return {
+            "apply_hits": self.apply_hits,
+            "apply_misses": self.apply_misses,
+            "ite_hits": self.ite_hits,
+            "ite_misses": self.ite_misses,
+            "quant_hits": self.quant_hits,
+            "quant_misses": self.quant_misses,
+            "restrict_hits": self.restrict_hits,
+            "restrict_misses": self.restrict_misses,
+            "unique_table_size": self.unique_table_size,
+            "peak_nodes": self.peak_nodes,
+        }
+
     # ------------------------------------------------------------------
     # Boolean algebra
     # ------------------------------------------------------------------
@@ -126,7 +160,9 @@ class Bdd:
         key = (name, f, g)
         cached = self._apply_memo.get(key)
         if cached is not None:
+            self.apply_hits += 1
             return cached
+        self.apply_misses += 1
         level_f, level_g = self._nodes[f][0], self._nodes[g][0]
         if self.is_terminal(f):
             top = level_g
@@ -209,7 +245,9 @@ class Bdd:
         key = (f, g, h)
         cached = self._ite_memo.get(key)
         if cached is not None:
+            self.ite_hits += 1
             return cached
+        self.ite_misses += 1
         top = min(self._top_level(f), self._top_level(g), self._top_level(h))
         result = self.node(
             top,
@@ -247,7 +285,9 @@ class Bdd:
         key = (f, frozen)
         cached = self._restrict_memo.get(key)
         if cached is not None:
+            self.restrict_hits += 1
             return cached
+        self.restrict_misses += 1
         level, lo, hi = self._nodes[f]
         if level in assignment:
             result = self._restrict(hi if assignment[level] else lo,
@@ -279,7 +319,9 @@ class Bdd:
         key = (f, 1 if disjunction else 0, levels)
         cached = self._quant_memo.get(key)
         if cached is not None:
+            self.quant_hits += 1
             return cached
+        self.quant_misses += 1
         level, lo, hi = self._nodes[f]
         q_lo = self._quantify(lo, levels, disjunction)
         q_hi = self._quantify(hi, levels, disjunction)

@@ -3,9 +3,19 @@
 Usage::
 
     repro-verify verify FILE.pas [--verbose] [--no-simulate]
-    repro-verify table  [NAME ...]      # the paper's §6 statistics table
+                                 [--profile] [--trace] [--json]
+    repro-verify table  [NAME ...] [--json]   # the §6 statistics table
     repro-verify show   NAME            # print a bundled example program
     repro-verify list                   # list the bundled programs
+
+Observability flags (also triggered by the ``REPRO_TRACE=1``
+environment variable, which acts like ``--trace``):
+
+* ``--profile`` — per-subgoal phase timing tree (symbolic execution,
+  translation, compilation, universality, counterexample work);
+* ``--trace`` — additionally record per-operation spans (automaton
+  products, projections, minimisations) for ``--json``;
+* ``--json`` — emit the machine-readable run report instead of text.
 
 ``verify`` exits 0 when the program verifies, 1 when it fails, 2 on
 usage or front-end errors.
@@ -18,9 +28,11 @@ import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
+from repro.obs import trace as obs_trace
 from repro.programs import ALL_PROGRAMS, TABLE_PROGRAMS
 from repro.verify import verify_source
-from repro.verify.report import format_result, format_table
+from repro.verify.report import (format_json, format_result,
+                                 format_table, format_timing_tree)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -40,12 +52,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify_cmd.add_argument("--no-simulate", action="store_true",
                             help="skip concrete simulation of "
                                  "counterexamples")
+    verify_cmd.add_argument("--profile", action="store_true",
+                            help="print a per-subgoal phase timing tree")
+    verify_cmd.add_argument("--trace", action="store_true",
+                            help="record per-operation spans (products, "
+                                 "projections, minimisations); implies "
+                                 "--profile unless --json is given")
+    verify_cmd.add_argument("--json", action="store_true",
+                            help="emit the machine-readable JSON run "
+                                 "report instead of the text report")
 
     table_cmd = commands.add_parser(
         "table", help="regenerate the paper's statistics table")
     table_cmd.add_argument("names", nargs="*",
                            help="program subset (default: the paper's "
                                 "six table programs)")
+    table_cmd.add_argument("--json", action="store_true",
+                           help="emit one JSON run report per program "
+                                "instead of the text table")
 
     show_cmd = commands.add_parser(
         "show", help="print a bundled example program")
@@ -85,16 +109,43 @@ def _dispatch(args: argparse.Namespace) -> int:
         for name in names:
             source = _load(name)
             results.append(verify_source(source))
-        print(format_table(results))
+        if args.json:
+            import json as _json
+            print(_json.dumps([result.to_dict() for result in results],
+                              indent=2))
+        else:
+            print(format_table(results))
         return 0 if all(result.valid for result in results) else 1
     if args.command == "verify":
         source = _load(args.file)
-        result = verify_source(source, simulate=not args.no_simulate)
-        print(format_result(result, verbose=args.verbose))
+        tracer = _make_tracer(args)
+        result = verify_source(source, simulate=not args.no_simulate,
+                               tracer=tracer)
+        if args.json:
+            print(format_json(result))
+        else:
+            print(format_result(result, verbose=args.verbose))
+            if tracer is not None:
+                print()
+                print(format_timing_tree(result))
         return 0 if result.valid else 1
     if args.command == "synth":
         return _synthesize(args.formula, args.program)
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[obs_trace.Tracer]:
+    """A tracer when any observability output was requested.
+
+    ``--trace`` (or ``REPRO_TRACE=1``) records per-operation detail
+    spans; ``--profile`` and ``--json`` need only the phase spans.
+    """
+    env_tracer = obs_trace.tracer_from_env()
+    if args.trace or env_tracer is not None:
+        return obs_trace.Tracer(detail=True)
+    if args.profile or args.json:
+        return obs_trace.Tracer(detail=False)
+    return None
 
 
 def _synthesize(formula_text: str, program_name: str) -> int:

@@ -23,18 +23,27 @@ BDD (nodes) encountered during the reduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Optional
 
 from repro.bdd.mtbdd import Mtbdd
 from repro.automata.symbolic import SymbolicDfa, delta_from_function
 from repro.mso import ast
 from repro.errors import TranslationError
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import current_metrics
 
 
 @dataclass
 class CompilationStats:
-    """Running statistics of one compilation (paper §6 metrics)."""
+    """Running statistics of one compilation (paper §6 metrics).
+
+    Two kinds of field: *counters* (events during the reduction;
+    :meth:`merge` sums them) and *high-water marks* (sizes of the
+    largest structures encountered; :meth:`merge` takes maxima).  The
+    ``bdd_*`` counters and table sizes come from the compiler's MTBDD
+    manager via :meth:`capture_manager`.
+    """
 
     #: Largest number of states of any intermediate automaton.
     max_states: int = 0
@@ -48,6 +57,21 @@ class CompilationStats:
     minimizations: int = 0
     #: Number of formula nodes compiled (cache misses only).
     compiled_nodes: int = 0
+    #: Number of formula nodes answered from the compiler's memo table.
+    formula_memo_hits: int = 0
+    #: MTBDD apply-cache hits/misses (binary leaf-wise combinations).
+    bdd_apply_hits: int = 0
+    bdd_apply_misses: int = 0
+    #: MTBDD map-cache hits/misses (leaf rewrites: renames, signatures).
+    bdd_map_hits: int = 0
+    bdd_map_misses: int = 0
+    #: MTBDD restrict-cache hits/misses (cofactors during projection).
+    bdd_restrict_hits: int = 0
+    bdd_restrict_misses: int = 0
+    #: Decision nodes in the manager's unique table (high-water mark).
+    unique_table_size: int = 0
+    #: Total MTBDD nodes ever created by the manager (high-water mark).
+    peak_nodes: int = 0
 
     def record(self, dfa: SymbolicDfa) -> SymbolicDfa:
         """Fold one intermediate automaton into the running maxima."""
@@ -58,6 +82,23 @@ class CompilationStats:
             self.max_nodes = nodes
         return dfa
 
+    def capture_manager(self, mgr: Mtbdd) -> None:
+        """Copy the manager's cumulative cache counters into this
+        record.  Counters in the manager only grow, so taking maxima
+        makes repeated captures of the same manager idempotent."""
+        self.bdd_apply_hits = max(self.bdd_apply_hits, mgr.apply_hits)
+        self.bdd_apply_misses = max(self.bdd_apply_misses,
+                                    mgr.apply_misses)
+        self.bdd_map_hits = max(self.bdd_map_hits, mgr.map_hits)
+        self.bdd_map_misses = max(self.bdd_map_misses, mgr.map_misses)
+        self.bdd_restrict_hits = max(self.bdd_restrict_hits,
+                                     mgr.restrict_hits)
+        self.bdd_restrict_misses = max(self.bdd_restrict_misses,
+                                       mgr.restrict_misses)
+        self.unique_table_size = max(self.unique_table_size,
+                                     mgr.unique_table_size)
+        self.peak_nodes = max(self.peak_nodes, mgr.peak_nodes)
+
     def merge(self, other: "CompilationStats") -> None:
         """Accumulate another compilation's statistics into this one."""
         self.max_states = max(self.max_states, other.max_states)
@@ -66,6 +107,20 @@ class CompilationStats:
         self.projections += other.projections
         self.minimizations += other.minimizations
         self.compiled_nodes += other.compiled_nodes
+        self.formula_memo_hits += other.formula_memo_hits
+        self.bdd_apply_hits += other.bdd_apply_hits
+        self.bdd_apply_misses += other.bdd_apply_misses
+        self.bdd_map_hits += other.bdd_map_hits
+        self.bdd_map_misses += other.bdd_map_misses
+        self.bdd_restrict_hits += other.bdd_restrict_hits
+        self.bdd_restrict_misses += other.bdd_restrict_misses
+        self.unique_table_size = max(self.unique_table_size,
+                                     other.unique_table_size)
+        self.peak_nodes = max(self.peak_nodes, other.peak_nodes)
+
+    def to_dict(self) -> Dict[str, int]:
+        """All fields, JSON-ready (schema-stable: field names only)."""
+        return asdict(self)
 
 
 class Compiler:
@@ -120,13 +175,22 @@ class Compiler:
         so the resulting language contains exactly the well-encoded
         (string, assignment) pairs satisfying the formula.
         """
-        self._check_no_rebinding(formula)
-        result = self._compile(formula)
-        for var in sorted(formula.free_vars(), key=lambda v: v.name):
-            if var.kind is ast.VarKind.FIRST:
-                result = self._intersect(result,
-                                         self._aut_singleton(self.track(var)))
-        return self._minimize(result, force=True)
+        with obs_trace.span("mso.compile") as sp:
+            self._check_no_rebinding(formula)
+            result = self._compile(formula)
+            for var in sorted(formula.free_vars(), key=lambda v: v.name):
+                if var.kind is ast.VarKind.FIRST:
+                    result = self._intersect(
+                        result, self._aut_singleton(self.track(var)))
+            result = self._minimize(result, force=True)
+            self.stats.capture_manager(self.mgr)
+            if sp:
+                sp.annotate(formula_size=formula.size(),
+                            states=result.num_states,
+                            nodes=result.bdd_node_count(),
+                            max_states=self.stats.max_states,
+                            max_nodes=self.stats.max_nodes)
+            return result
 
     def is_valid(self, formula: ast.Formula) -> bool:
         """Validity over all strings and well-encoded assignments.
@@ -149,6 +213,7 @@ class Compiler:
     def _compile(self, formula: ast.Formula) -> SymbolicDfa:
         cached = self._memo.get(id(formula))
         if cached is not None:
+            self.stats.formula_memo_hits += 1
             return cached
         result = self._compile_uncached(formula)
         result = self._minimize(result)
@@ -251,13 +316,22 @@ class Compiler:
         if not (self.minimize_during or force):
             return dfa.trim()
         self.stats.minimizations += 1
-        return dfa.minimize()
+        result = dfa.minimize()
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.histogram("mso.minimize.states_removed").observe(
+                dfa.num_states - result.num_states)
+        return result
 
     def _product(self, left: SymbolicDfa, right: SymbolicDfa,
                  accept: Callable[[bool, bool], bool]) -> SymbolicDfa:
         self.stats.products += 1
         result = left.product(right, accept)
         self.stats.record(result)
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.histogram("mso.product.states").observe(
+                result.num_states)
         return result
 
     def _intersect(self, left: SymbolicDfa,
@@ -268,6 +342,10 @@ class Compiler:
         self.stats.projections += 1
         result = dfa.project(track).determinize()
         self.stats.record(result)
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.histogram("mso.project.states").observe(
+                result.num_states)
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Observability: span tracing, metrics, and structured exports.
+
+The verifier is a pipeline of expensive symbolic phases — symbolic
+execution, formula translation, the automaton reduction (products,
+projections, minimisations), emptiness checking, counterexample
+decoding — and the paper's whole evaluation (§6) is a table of
+internal measurements of that pipeline.  This package is the
+measurement substrate:
+
+* :mod:`repro.obs.trace` — a lightweight hierarchical span tracer
+  with a zero-overhead no-op sink when disabled;
+* :mod:`repro.obs.metrics` — counters, gauges and histograms with the
+  same always-usable null registry.
+
+Both follow the same pattern: a process-wide *active* instance that
+defaults to a null implementation, so instrumented code never checks
+"is tracing on?" — it just calls :func:`repro.obs.trace.span` and the
+null sink swallows it.
+"""
+
+from repro.obs.trace import (NULL_TRACER, Span, Tracer, activate,
+                             current_tracer, set_tracer, span,
+                             tracer_from_env)
+from repro.obs.metrics import (NULL_REGISTRY, Counter, Gauge, Histogram,
+                               MetricsRegistry, activate_metrics,
+                               current_metrics, set_metrics)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_REGISTRY",
+    "NULL_TRACER", "Span", "Tracer", "activate", "activate_metrics",
+    "current_metrics", "current_tracer", "set_metrics", "set_tracer",
+    "span", "tracer_from_env",
+]

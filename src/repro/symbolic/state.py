@@ -25,6 +25,7 @@ repeated queries share formula objects and the compiler's cache hits.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, replace
 from typing import Callable, Dict
 
@@ -73,6 +74,13 @@ def fresh_pos(prefix: str) -> Var:
     return Var.fresh(prefix, VarKind.FIRST)
 
 
+#: Process-wide store generation numbers.  Unlike ``id()``, a
+#: generation is never reused after garbage collection, so it is a
+#: safe cache key for formulas derived from a store (see
+#: ``Verifier._eval_guard_cached``).
+_generations = itertools.count()
+
+
 @dataclass
 class SymbolicStore:
     """One interpretation of the basic store relations."""
@@ -92,6 +100,8 @@ class SymbolicStore:
     def __post_init__(self) -> None:
         self._derived1: Dict[object, Rel1] = {}
         self._derived2: Dict[object, Rel2] = {}
+        #: Stable identity (``updated()`` copies get fresh ones too).
+        self.generation = next(_generations)
 
     def is_nil(self, p: Var) -> Formula:
         """Position ``p`` is the nil cell (always position 0)."""

@@ -17,6 +17,7 @@ from repro.errors import TranslationError
 from repro.mso.ast import Var, VarKind
 from repro.mso.compile import CompilationStats
 from repro.automata.symbolic import delta_from_function
+from repro.obs import trace as obs_trace
 from repro.treemso import ast
 from repro.treemso.automata import TreeDfa
 
@@ -50,12 +51,20 @@ class TreeCompiler:
     def compile(self, formula: ast.TFormula) -> TreeDfa:
         """Compile to a minimal automaton (free first-order variables
         singleton-restricted)."""
-        result = self._compile(formula)
-        for var in sorted(formula.free_vars(), key=lambda v: v.name):
-            if var.kind is VarKind.FIRST:
-                result = self._intersect(
-                    result, self._aut_singleton(self.track(var)))
-        return result.minimize()
+        with obs_trace.span("treemso.compile") as sp:
+            result = self._compile(formula)
+            for var in sorted(formula.free_vars(), key=lambda v: v.name):
+                if var.kind is VarKind.FIRST:
+                    result = self._intersect(
+                        result, self._aut_singleton(self.track(var)))
+            result = result.minimize()
+            self.stats.capture_manager(self.mgr)
+            if sp:
+                sp.annotate(states=result.num_states,
+                            nodes=result.bdd_node_count(),
+                            max_states=self.stats.max_states,
+                            max_nodes=self.stats.max_nodes)
+            return result
 
     def is_valid(self, formula: ast.TFormula) -> bool:
         """Validity over all finite binary trees (including the empty
@@ -67,6 +76,7 @@ class TreeCompiler:
     def _compile(self, formula: ast.TFormula) -> TreeDfa:
         cached = self._memo.get(id(formula))
         if cached is not None:
+            self.stats.formula_memo_hits += 1
             return cached
         result = self._compile_uncached(formula)
         if self.minimize_during:
@@ -142,14 +152,25 @@ class TreeCompiler:
     def _product(self, left: TreeDfa, right: TreeDfa,
                  accept: Callable[[bool, bool], bool]) -> TreeDfa:
         self.stats.products += 1
-        return self._record(left.product(right, accept))
+        with obs_trace.span("treemso.product", detail=True) as sp:
+            result = self._record(left.product(right, accept))
+            if sp:
+                sp.annotate(left_states=left.num_states,
+                            right_states=right.num_states,
+                            states=result.num_states)
+            return result
 
     def _intersect(self, left: TreeDfa, right: TreeDfa) -> TreeDfa:
         return self._product(left, right, lambda a, b: a and b)
 
     def _project(self, dfa: TreeDfa, track: int) -> TreeDfa:
         self.stats.projections += 1
-        return self._record(dfa.project(track).determinize())
+        with obs_trace.span("treemso.project", detail=True,
+                            track=track) as sp:
+            result = self._record(dfa.project(track).determinize())
+            if sp:
+                sp.annotate(states=result.num_states)
+            return result
 
     # ------------------------------------------------------------------
     # Base automata

@@ -42,6 +42,8 @@ from repro.storelogic.ast import STrue
 from repro.stores.encode import decode_store
 from repro.stores.model import Store
 from repro.storelogic.translate import translate_formula
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Span
 from repro.symbolic.exec import eval_guard, exec_statements
 from repro.symbolic.layout import TrackLayout
 from repro.symbolic.state import SymbolicStore, initial_store
@@ -81,10 +83,32 @@ class SubgoalResult:
     stats: CompilationStats
     formula_size: int
     seconds: float
+    #: Phase timing tree of this decision, when a tracer was active;
+    #: its total equals :attr:`seconds`.
+    span: Optional[Span] = None
 
     @property
     def description(self) -> str:
         return self.subgoal.description
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable schema; see
+        :meth:`VerificationResult.to_dict`)."""
+        counterexample = None
+        if self.counterexample is not None:
+            counterexample = {
+                "description": self.counterexample.description,
+                "explanation": self.counterexample.explanation,
+            }
+        return {
+            "description": self.description,
+            "valid": self.valid,
+            "seconds": self.seconds,
+            "formula_size": self.formula_size,
+            "stats": self.stats.to_dict(),
+            "span": self.span.to_dict() if self.span else None,
+            "counterexample": counterexample,
+        }
 
 
 @dataclass
@@ -125,6 +149,36 @@ class VerificationResult:
         return max((result.stats.max_nodes for result in self.results),
                    default=0)
 
+    def aggregate_stats(self) -> CompilationStats:
+        """All subgoal statistics merged into one record (counters
+        summed, high-water marks maximised)."""
+        merged = CompilationStats()
+        for result in self.results:
+            merged.merge(result.stats)
+        return merged
+
+    def to_dict(self) -> Dict[str, object]:
+        """A schema-stable, JSON-ready document of the whole run.
+
+        Top-level keys: ``schema_version``, ``program``, ``valid``,
+        ``seconds``, ``formula_size``, ``max_states``, ``max_nodes``,
+        ``stats`` (merged), ``subgoals`` (each with ``description``,
+        ``valid``, ``seconds``, ``formula_size``, ``stats``, ``span``,
+        ``counterexample``).  New keys may be added; existing keys
+        keep their meaning.
+        """
+        return {
+            "schema_version": 1,
+            "program": self.program,
+            "valid": self.valid,
+            "seconds": self.seconds,
+            "formula_size": self.formula_size,
+            "max_states": self.max_states,
+            "max_nodes": self.max_nodes,
+            "stats": self.aggregate_stats().to_dict(),
+            "subgoals": [result.to_dict() for result in self.results],
+        }
+
 
 def verify_source(text: str, **kwargs: object) -> VerificationResult:
     """Parse, check and verify a program source."""
@@ -147,29 +201,50 @@ class Verifier:
         simulate: run counterexamples through the concrete interpreter
             for richer explanations.
         stop_at_first_failure: skip remaining subgoals after one fails.
+        tracer: record phase spans into this tracer for the duration
+            of :meth:`verify` (None leaves the process's active tracer
+            in charge — usually the no-op sink).
     """
 
     def __init__(self, program: TypedProgram,
                  minimize_during: bool = True,
                  simulate: bool = True,
-                 stop_at_first_failure: bool = False) -> None:
+                 stop_at_first_failure: bool = False,
+                 tracer: Optional[obs_trace.Tracer] = None) -> None:
         self.program = program
         self.minimize_during = minimize_during
         self.simulate = simulate
         self.stop_at_first_failure = stop_at_first_failure
-        self._guard_cache: Dict[Tuple[int, int],
+        self.tracer = tracer
+        # One concrete interpreter serves every obligation and
+        # counterexample simulation; it is stateless between runs.
+        self._interpreter = Interpreter(program)
+        # Guard formulas per (store generation, loop position): stable
+        # identities, unlike id(), which may be reused after GC.
+        self._guard_cache: Dict[Tuple[int, int, str],
                                 Tuple[Formula, Formula]] = {}
 
     # ------------------------------------------------------------------
 
     def verify(self) -> VerificationResult:
         """Collect and decide every subgoal."""
+        if self.tracer is not None:
+            with obs_trace.activate(self.tracer):
+                return self._verify()
+        return self._verify()
+
+    def _verify(self) -> VerificationResult:
         result = VerificationResult(self.program.name)
-        for subgoal in self.collect_subgoals():
-            result.results.append(self.decide(subgoal))
-            if self.stop_at_first_failure and \
-                    not result.results[-1].valid:
-                break
+        with obs_trace.span("verify", program=self.program.name):
+            with obs_trace.span("subgoals.split") as sp:
+                subgoals = self.collect_subgoals()
+                if sp:
+                    sp.annotate(subgoals=len(subgoals))
+            for subgoal in subgoals:
+                result.results.append(self.decide(subgoal))
+                if self.stop_at_first_failure and \
+                        not result.results[-1].valid:
+                    break
         return result
 
     # ------------------------------------------------------------------
@@ -255,10 +330,10 @@ class Verifier:
 
     def _guard_obligation(self, loop: TWhile, safe: bool = False,
                           value: Optional[bool] = None) -> Obligation:
-        interpreter = Interpreter(self.program)
+        interpreter = self._interpreter
 
         def producer(st: SymbolicStore) -> Formula:
-            val, err = self._eval_guard_cached(st, loop.cond)
+            val, err = self._eval_guard_cached(st, loop)
             if safe:
                 return F.not_(err)
             return val if value else F.not_(val)
@@ -278,11 +353,16 @@ class Verifier:
                           producer=producer, concrete=concrete)
 
     def _eval_guard_cached(self, st: SymbolicStore,
-                           guard: object) -> Tuple[Formula, Formula]:
-        key = (id(st), id(guard))
+                           loop: TWhile) -> Tuple[Formula, Formula]:
+        # The guard is identified by its loop's position in the source
+        # and its text, the store by its generation — both stable,
+        # whereas id() values can be recycled once the objects from an
+        # earlier decide() are garbage-collected, which would silently
+        # return a formula built over a dead store's variables.
+        key = (st.generation, loop.line, str(loop.cond))
         found = self._guard_cache.get(key)
         if found is None:
-            found = eval_guard(st, guard)
+            found = eval_guard(st, loop.cond)
             self._guard_cache[key] = found
         return found
 
@@ -293,32 +373,56 @@ class Verifier:
     def decide(self, subgoal: Subgoal) -> SubgoalResult:
         """Decide one loop-free triple completely."""
         started = time.perf_counter()
-        schema = self.program.schema
-        compiler = Compiler(minimize_during=self.minimize_during)
-        layout = TrackLayout(schema)
-        layout.register(compiler)
-        st0 = initial_store(schema, layout)
-        outcome = exec_statements(st0, subgoal.statements)
-        assume = F.conj(
-            [wf_string(layout)]
-            + [item.producer(st0) for item in subgoal.assume]
-            + [F.not_(outcome.oom)])
-        obligation = F.conj(
-            [F.not_(outcome.error), wf_graph(outcome.store)]
-            + [item.producer(outcome.store) for item in subgoal.check])
-        negation = F.and_(assume, F.not_(obligation))
-        formula_size = negation.size()
-        dfa = compiler.compile(negation)
-        word = dfa.shortest_accepted()
-        counterexample = None
-        if word is not None:
-            counterexample = self._build_counterexample(
-                subgoal, layout, compiler, word)
-        elapsed = time.perf_counter() - started
+        with obs_trace.span("subgoal",
+                            description=subgoal.description) as sub:
+            schema = self.program.schema
+            compiler = Compiler(minimize_during=self.minimize_during)
+            layout = TrackLayout(schema)
+            layout.register(compiler)
+            st0 = initial_store(schema, layout)
+            with obs_trace.span("exec.symbolic") as sp:
+                outcome = exec_statements(st0, subgoal.statements)
+                if sp:
+                    sp.annotate(statements=len(subgoal.statements))
+            with obs_trace.span("translate") as sp:
+                assume = F.conj(
+                    [wf_string(layout)]
+                    + [item.producer(st0) for item in subgoal.assume]
+                    + [F.not_(outcome.oom)])
+                obligation = F.conj(
+                    [F.not_(outcome.error), wf_graph(outcome.store)]
+                    + [item.producer(outcome.store)
+                       for item in subgoal.check])
+                negation = F.and_(assume, F.not_(obligation))
+                formula_size = negation.size()
+                if sp:
+                    sp.annotate(formula_size=formula_size)
+            with obs_trace.span("compile") as sp:
+                dfa = compiler.compile(negation)
+                if sp:
+                    sp.annotate(states=dfa.num_states,
+                                nodes=dfa.bdd_node_count())
+            with obs_trace.span("universality") as sp:
+                word = dfa.shortest_accepted()
+                if sp:
+                    sp.annotate(valid=word is None,
+                                word_length=None if word is None
+                                else len(word))
+            counterexample = None
+            if word is not None:
+                with obs_trace.span("counterexample"):
+                    counterexample = self._build_counterexample(
+                        subgoal, layout, compiler, word)
+        # With tracing on, the reported time is exactly the subgoal
+        # span's total, so the --profile tree sums up consistently.
+        elapsed = sub.seconds if sub else time.perf_counter() - started
+        if sub:
+            sub.annotate(seconds=elapsed, valid=word is None)
         return SubgoalResult(subgoal=subgoal, valid=word is None,
                              counterexample=counterexample,
                              stats=compiler.stats,
-                             formula_size=formula_size, seconds=elapsed)
+                             formula_size=formula_size, seconds=elapsed,
+                             span=sub if sub else None)
 
     # ------------------------------------------------------------------
     # Counterexamples
@@ -328,27 +432,30 @@ class Verifier:
                               layout: TrackLayout, compiler: Compiler,
                               word: Sequence[Dict[int, bool]]
                               ) -> Counterexample:
-        symbols = layout.word_to_symbols(word, compiler.tracks())
-        store = decode_store(self.program.schema, symbols)
+        with obs_trace.span("counterexample.decode") as sp:
+            symbols = layout.word_to_symbols(word, compiler.tracks())
+            store = decode_store(self.program.schema, symbols)
+            if sp:
+                sp.annotate(word_length=len(word))
         trace: Optional[Trace] = None
         runtime_error: Optional[str] = None
         final_store: Optional[Store] = None
         failed: List[str] = []
         if self.simulate:
-            interpreter = Interpreter(self.program)
-            working = store.clone()
-            trace = Trace()
-            try:
-                interpreter.run_statements(working, subgoal.statements,
-                                           trace)
-                final_store = working
-            except ExecutionError as exc:
-                runtime_error = str(exc)
-            if final_store is not None:
-                for item in subgoal.check:
-                    if item.concrete is not None and \
-                            not item.concrete(final_store):
-                        failed.append(item.name)
+            with obs_trace.span("counterexample.simulate"):
+                working = store.clone()
+                trace = Trace()
+                try:
+                    self._interpreter.run_statements(
+                        working, subgoal.statements, trace)
+                    final_store = working
+                except ExecutionError as exc:
+                    runtime_error = str(exc)
+                if final_store is not None:
+                    for item in subgoal.check:
+                        if item.concrete is not None and \
+                                not item.concrete(final_store):
+                            failed.append(item.name)
         explanation = explain_failure(final_store, failed, runtime_error)
         return Counterexample(description=subgoal.description,
                               symbols=symbols, store=store, trace=trace,

@@ -1,14 +1,17 @@
-"""Textual reports of verification results.
+"""Textual and structured reports of verification results.
 
-Formats single-program reports for the CLI and the rows of the
-paper's §6 statistics table (Program | Time | Formula | States |
-Nodes) for the benchmark harness.
+Formats single-program reports for the CLI, the rows of the paper's
+§6 statistics table (Program | Time | Formula | States | Nodes) for
+the benchmark harness, the per-phase timing tree behind the CLI's
+``--profile`` flag, and the JSON document behind ``--json``.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, List
 
+from repro.obs.trace import Span
 from repro.verify.engine import VerificationResult
 
 TABLE_HEADER = (f"{'Program':<12} {'Time (s)':>9} {'Formula':>9} "
@@ -54,3 +57,67 @@ def format_result(result: VerificationResult,
         lines.extend("  " + line
                      for line in counterexample.render().splitlines())
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Timing tree (--profile) and JSON (--json)
+# ----------------------------------------------------------------------
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:7.2f}s "
+    return f"{seconds * 1000:7.1f}ms"
+
+
+def _format_attrs(span: Span) -> str:
+    shown = {key: value for key, value in span.attrs.items()
+             if key not in ("description", "seconds")}
+    if not shown:
+        return ""
+    return "  " + " ".join(f"{key}={value}"
+                           for key, value in shown.items())
+
+
+def format_span(span: Span, prefix: str = "") -> List[str]:
+    """Render one span's subtree as indented lines."""
+    lines = [f"{prefix}{span.name:<{max(1, 40 - len(prefix))}} "
+             f"{_format_seconds(span.seconds)}{_format_attrs(span)}"]
+    for index, child in enumerate(span.children):
+        last = index == len(span.children) - 1
+        connector = "└─ " if last else "├─ "
+        lines.extend(_shift(format_span(child, ""),
+                            prefix + connector,
+                            prefix + ("   " if last else "│  ")))
+    return lines
+
+
+def _shift(lines: List[str], head: str, rest: str) -> List[str]:
+    return [head + lines[0]] + [rest + line for line in lines[1:]]
+
+
+def format_timing_tree(result: VerificationResult) -> str:
+    """The per-phase timing tree of a traced verification.
+
+    Each subgoal heads one tree whose total is exactly the subgoal's
+    reported ``seconds``; untraced subgoals print a one-line summary.
+    """
+    lines = [f"{result.program}: timing "
+             f"({len(result.results)} subgoals, "
+             f"{result.seconds:.2f}s total)"]
+    for subgoal_result in result.results:
+        span = subgoal_result.span
+        if span is None:
+            lines.append(f"  {subgoal_result.description}: "
+                         f"{subgoal_result.seconds:.2f}s "
+                         f"(run with --profile or --trace for phases)")
+            continue
+        lines.append(f"  {subgoal_result.description} "
+                     f"— {subgoal_result.seconds:.2f}s")
+        for line in format_span(span)[1:]:
+            lines.append("  " + line)
+    return "\n".join(lines)
+
+
+def format_json(result: VerificationResult, indent: int = 2) -> str:
+    """The schema-stable JSON document of one verification run."""
+    return json.dumps(result.to_dict(), indent=indent, sort_keys=False)

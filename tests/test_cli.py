@@ -1,5 +1,7 @@
 """Tests for the command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -52,6 +54,70 @@ class TestVerify:
     def test_missing_file(self):
         with pytest.raises(OSError):
             main(["verify", "/nonexistent/path.pas"])
+
+
+class TestObservabilityFlags:
+    def test_json_report(self, capsys):
+        assert main(["verify", "searchwf", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+        assert document["program"] == "searchwf"
+        assert document["valid"] is True
+        assert document["stats"]["bdd_apply_hits"] > 0
+        assert document["stats"]["bdd_apply_misses"] > 0
+        assert document["stats"]["peak_nodes"] > 0
+        for subgoal in document["subgoals"]:
+            assert subgoal["span"]["name"] == "subgoal"
+
+    def test_json_failing_program_still_valid_json(self, capsys):
+        assert main(["verify", "swap", "--no-simulate", "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["valid"] is False
+        assert any(subgoal["counterexample"]
+                   for subgoal in document["subgoals"])
+
+    def test_profile_prints_timing_tree(self, capsys):
+        assert main(["verify", "searchwf", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "timing (" in out
+        for phase in ("exec.symbolic", "translate", "compile",
+                      "universality"):
+            assert phase in out
+
+    def test_trace_records_operation_spans(self, capsys):
+        assert main(["verify", "searchwf", "--trace", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        names = set()
+
+        def collect(span):
+            names.add(span["name"])
+            for child in span["children"]:
+                collect(child)
+
+        for subgoal in document["subgoals"]:
+            collect(subgoal["span"])
+        assert "automata.product" in names
+        assert "automata.minimize" in names
+
+    def test_repro_trace_env_acts_like_trace(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert main(["verify", "searchwf", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        spans = json.dumps(out["subgoals"])
+        assert "automata.product" in spans
+
+    def test_repro_trace_zero_is_disabled(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert main(["verify", "searchwf"]) == 0
+        out = capsys.readouterr().out
+        assert "timing (" not in out
+
+    def test_table_json(self, capsys):
+        assert main(["table", "searchwf", "--json"]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert [doc["program"] for doc in documents] == ["searchwf"]
+        assert documents[0]["valid"] is True
 
 
 class TestTable:

@@ -144,3 +144,13 @@ class TestSymbolicStoreHelpers:
         new_state = state.updated(garb=state.garb)
         assert new_state.next_to is state.next_to
         assert new_state is not state
+
+    def test_generations_unique_and_monotonic(self, schema, layout):
+        # Stores carry a process-unique generation so caches keyed on
+        # store identity (the verifier's guard cache) survive id()
+        # reuse after garbage collection.
+        state = initial_store(schema, layout)
+        copy = state.updated(garb=state.garb)
+        later = initial_store(schema, layout)
+        assert state.generation != copy.generation
+        assert copy.generation < later.generation
