@@ -76,6 +76,7 @@ def test_table1_emit_json():
         assert entry["valid"]
         assert entry["stats"]["bdd_apply_misses"] > 0
         assert entry["max_states"] > 0
+        assert entry["tracks_before"] >= entry["tracks_after"] > 0
 
 
 def test_table1_shape():

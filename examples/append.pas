@@ -1,0 +1,18 @@
+program append;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x, y: List;
+{pointer} var p: List;
+begin
+  {x <> nil}
+  p := x;
+  while p^.next <> nil do
+    {x<next*>p & p <> nil}
+    p := p^.next;
+  p^.next := y;
+  y := nil
+  {y = nil & x<next*>p & p <> nil}
+end.

@@ -1,0 +1,30 @@
+program copy;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x, y: List;
+{pointer} var p, q: List;
+begin
+  {y = nil & q = nil}
+  p := x;
+  while p <> nil do
+    {x<next*>p & y<next*>q & (y = nil <=> q = nil)
+      & (q <> nil => q^.next = nil)
+      & (y = nil => p = x) & (x = nil => y = nil)}
+    begin
+    if y = nil then begin
+      if p^.tag = red then new(y, red) else new(y, blue);
+      q := y
+    end else begin
+      if p^.tag = red then new(q^.next, red)
+      else new(q^.next, blue);
+      q := q^.next
+    end;
+    q^.next := nil;
+    p := p^.next
+  end
+  {p = nil & (x = nil <=> y = nil)
+    & (q <> nil => q^.next = nil)}
+end.

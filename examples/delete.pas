@@ -1,0 +1,26 @@
+program delete;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {x<next*>p & (x = nil <=> p = nil) & ~(ex g: <garb?>g)}
+  if p <> nil then begin
+    if p^.next = nil then begin
+      q := x^.next;
+      if x^.tag = red then dispose(x, red) else dispose(x, blue);
+      x := q;
+      p := nil
+    end else begin
+      q := p^.next^.next;
+      if p^.next^.tag = red then dispose(p^.next, red)
+      else dispose(p^.next, blue);
+      p^.next := q
+    end
+  end
+  {(x = nil & p = nil & ~(ex g: <garb?>g))
+    | (ex g: <garb?>g & (all r: <garb?>r => r = g))}
+end.

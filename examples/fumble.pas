@@ -1,0 +1,18 @@
+program fumble;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x, y: List;
+{pointer} var p: List;
+begin
+  {y = nil}
+  while x <> nil do begin
+    p := x^.next;
+    y := x;
+    x^.next := y;
+    x := p
+  end
+  {x = nil}
+end.

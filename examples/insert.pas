@@ -1,0 +1,23 @@
+program insert;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {x<next*>p & (x = nil <=> p = nil)}
+  if p <> nil then begin
+    q := p^.next;
+    new(p^.next, red);
+    p := p^.next;
+    p^.next := q
+  end else begin
+    q := x;
+    new(x, red);
+    p := x;
+    p^.next := q
+  end
+  {x<next*>p & p <> nil & <(List:red)?>p}
+end.

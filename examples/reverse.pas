@@ -1,0 +1,18 @@
+program reverse;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x, y: List;
+{pointer} var p: List;
+begin
+  {y = nil}
+  while x <> nil do begin
+    p := x^.next;
+    x^.next := y;
+    y := x;
+    x := p
+  end
+  {x = nil}
+end.

@@ -1,0 +1,18 @@
+program rotate;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p: List;
+begin
+  {x<next*>p & (x <> nil => p^.next = nil)}
+  if x <> nil then begin
+    p^.next := x;
+    x := x^.next;
+    p := p^.next;
+    p^.next := nil
+  end
+  {x<next*>p & (x <> nil => p^.next = nil)}
+end.

@@ -1,0 +1,16 @@
+program search;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p: List;
+begin
+  p := x;
+  while p <> nil and p^.tag <> blue do
+    {x<next*>p & (all q: (x<next*>q & q<next+>p) => <(List:red)?>q)}
+    p := p^.next
+  {x<next*>p & (p = nil | <(List:blue)?>p)
+    & (all q: (x<next*>q & q<next+>p) => <(List:red)?>q)}
+end.

@@ -1,0 +1,13 @@
+program searchwf;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p: List;
+begin
+  p := x;
+  while p <> nil and p^.tag <> blue do
+    p := p^.next
+end.

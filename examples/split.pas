@@ -1,0 +1,23 @@
+program split;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x, y, z: List;
+{pointer} var p: List;
+begin
+  {y = nil & z = nil}
+  while x <> nil do
+    {(all c: (y<next*>c & c <> nil) => <(List:red)?>c)
+      & (all c: (z<next*>c & c <> nil) => <(List:blue)?>c)}
+    begin
+    p := x;
+    x := x^.next;
+    if p^.tag = red then begin p^.next := y; y := p end
+    else begin p^.next := z; z := p end
+  end
+  {x = nil
+    & (all c: (y<next*>c & c <> nil) => <(List:red)?>c)
+    & (all c: (z<next*>c & c <> nil) => <(List:blue)?>c)}
+end.

@@ -1,0 +1,16 @@
+program swap;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p: List;
+begin
+  if x <> nil then begin
+    p := x;
+    x := x^.next;
+    p^.next := x^.next;
+    x^.next := p
+  end
+end.

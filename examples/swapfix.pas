@@ -1,0 +1,17 @@
+program swapfix;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p: List;
+begin
+  {x^.next <> nil}
+  if x <> nil then begin
+    p := x;
+    x := x^.next;
+    p^.next := x^.next;
+    x^.next := p
+  end
+end.

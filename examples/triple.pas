@@ -1,0 +1,15 @@
+program triple;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {x<next*>p & p^.next = nil}
+  new(q, blue);
+  q^.next := nil;
+  p^.next := q
+  {x<next*>q & q^.next = nil & p <> q}
+end.

@@ -1,0 +1,28 @@
+program zip;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x, y, z: List;
+{pointer} var p, t: List;
+begin
+  {z = nil}
+  if x = nil then begin t := x; x := y; y := t end;
+  p := nil;
+  while x <> nil do
+    {(x = nil => y = nil) & z<next*>p & (z <> nil => p^.next = nil)}
+    begin
+      if z = nil then begin
+        z := x;
+        p := x
+      end else begin
+        p^.next := x;
+        p := p^.next
+      end;
+      x := x^.next;
+      p^.next := nil;
+      if y <> nil then begin t := x; x := y; y := t end
+    end
+  {x = nil & y = nil}
+end.

@@ -24,12 +24,15 @@ Layer map (bottom-up): :mod:`repro.bdd` (ROBDDs and MTBDDs),
 :mod:`repro.automata` (explicit + symbolic automata),
 :mod:`repro.mso` (M2L-Str and its compiler), :mod:`repro.stores`
 (concrete stores and the string encoding), :mod:`repro.pascal`
-(front end), :mod:`repro.storelogic` (the assertion logic),
+(front end), :mod:`repro.analysis` (CFGs, dataflow, lints, cone of
+influence), :mod:`repro.storelogic` (the assertion logic),
 :mod:`repro.symbolic` (transduction engine), :mod:`repro.exec`
 (concrete interpreter), :mod:`repro.verify` (the Hoare engine), and
 :mod:`repro.programs` (the paper's example corpus).
 """
 
+from repro.analysis import (Diagnostic, Severity, cone_of_influence,
+                            lint_program, lint_source)
 from repro.errors import (ExecutionError, ParseError, ReproError,
                           StoreError, TranslationError, TypeError_,
                           VerificationError)
@@ -45,12 +48,13 @@ from repro.verify.report import (format_json, format_table,
 __version__ = "1.0.0"
 
 __all__ = [
-    "Counterexample", "ExecutionError", "ParseError", "ReproError",
-    "Store", "StoreError", "TranslationError", "TypeError_",
-    "VerificationError", "VerificationResult", "Verifier",
-    "check_formula", "check_program", "decode_store", "encode_store",
-    "eval_formula", "format_json", "format_result", "format_table",
-    "format_table_row", "format_timing_tree", "parse_formula",
-    "parse_program", "render_store", "render_symbols", "verify_program",
-    "verify_source",
+    "Counterexample", "Diagnostic", "ExecutionError", "ParseError",
+    "ReproError", "Severity", "Store", "StoreError", "TranslationError",
+    "TypeError_", "VerificationError", "VerificationResult", "Verifier",
+    "check_formula", "check_program", "cone_of_influence",
+    "decode_store", "encode_store", "eval_formula", "format_json",
+    "format_result", "format_table", "format_table_row",
+    "format_timing_tree", "lint_program", "lint_source",
+    "parse_formula", "parse_program", "render_store", "render_symbols",
+    "verify_program", "verify_source",
 ]

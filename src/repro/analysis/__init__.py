@@ -1,0 +1,32 @@
+"""Static analysis front-end: CFGs, dataflow, lints, cone of influence.
+
+The package serves two consumers: the ``repro lint`` CLI subcommand
+(:func:`lint_source` / :func:`lint_program`), and the verifier's
+cone-of-influence track reduction (:func:`cone_of_influence`), which
+drops automaton tracks for variables that cannot affect a subgoal's
+obligations.
+"""
+
+from repro.analysis.cfg import CFG, Edge, Node, from_program, \
+    from_statements
+from repro.analysis.coi import cone_of_influence, guard_vars
+from repro.analysis.dataflow import Analysis, DataflowResult, solve
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.lints import lint_program, lint_source
+
+__all__ = [
+    "Analysis",
+    "CFG",
+    "DataflowResult",
+    "Diagnostic",
+    "Edge",
+    "Node",
+    "Severity",
+    "cone_of_influence",
+    "from_program",
+    "from_statements",
+    "guard_vars",
+    "lint_program",
+    "lint_source",
+    "solve",
+]

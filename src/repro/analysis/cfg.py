@@ -1,0 +1,168 @@
+"""Control-flow graphs over the typed Pascal IR.
+
+One :class:`Node` per statement, plus a synthetic entry and exit.
+Conditionals and loops become ``branch`` nodes whose outgoing edges
+carry the guard and the direction taken, so analyses can refine their
+states along each branch (for example, learning ``p = nil`` on the
+true edge of ``if p = nil then ...``).  Loop invariants and cut-point
+assertions appear as ``annotation`` nodes — in the verifier they are
+both assumed and checked at their program point, so dataflow analyses
+treat them as uses of their free variables.
+
+The language has no goto or early return, so every node is
+structurally reachable; unreachability only arises semantically, when
+an analysis proves a guard edge infeasible (:mod:`repro.analysis
+.dataflow`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pascal.typed import (TAssertStmt, TAssign, TDispose, TGuard,
+                                TIf, TNew, TWhile, TypedProgram)
+
+#: Node kinds.
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+BRANCH = "branch"
+ANNOTATION = "annotation"
+
+
+@dataclass
+class Node:
+    """One control-flow node."""
+
+    index: int
+    kind: str
+    #: The typed statement (None for entry/exit).  ``branch`` nodes
+    #: hold their TIf/TWhile, ``annotation`` nodes their TAssertStmt
+    #: or the TWhile whose invariant they model.
+    statement: Optional[object]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A control-flow edge, optionally labelled with a guard outcome."""
+
+    src: int
+    dst: int
+    #: The branch guard this edge evaluates, or None (fall-through).
+    guard: Optional[TGuard] = None
+    #: The guard's outcome along this edge.
+    value: bool = True
+
+
+@dataclass
+class CFG:
+    """A control-flow graph; node 0 is the entry, node 1 the exit."""
+
+    nodes: List[Node] = field(default_factory=list)
+    edges: List[Edge] = field(default_factory=list)
+
+    @property
+    def entry(self) -> int:
+        return 0
+
+    @property
+    def exit(self) -> int:
+        return 1
+
+    def successors(self, index: int) -> List[Edge]:
+        return self._out.get(index, [])
+
+    def predecessors(self, index: int) -> List[Edge]:
+        return self._in.get(index, [])
+
+    def finish(self) -> "CFG":
+        """Index the edge lists (call once, after construction)."""
+        self._out: Dict[int, List[Edge]] = {}
+        self._in: Dict[int, List[Edge]] = {}
+        for edge in self.edges:
+            self._out.setdefault(edge.src, []).append(edge)
+            self._in.setdefault(edge.dst, []).append(edge)
+        return self
+
+    def statement_nodes(self) -> List[Node]:
+        """All nodes carrying a statement, in creation (source) order."""
+        return [node for node in self.nodes
+                if node.statement is not None]
+
+
+#: A pending edge source: (node index, guard, guard value).
+_Dangling = Tuple[int, Optional[TGuard], bool]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self._node(ENTRY, None)
+        self._node(EXIT, None)
+
+    def _node(self, kind: str, statement: Optional[object],
+              line: int = 0) -> int:
+        index = len(self.cfg.nodes)
+        self.cfg.nodes.append(Node(index, kind, statement, line))
+        return index
+
+    def _wire(self, frontier: Sequence[_Dangling], dst: int) -> None:
+        for src, guard, value in frontier:
+            self.cfg.edges.append(Edge(src, dst, guard, value))
+
+    def build(self, statements: Sequence[object]) -> CFG:
+        frontier = self._sequence([(self.cfg.entry, None, True)],
+                                  statements)
+        self._wire(frontier, self.cfg.exit)
+        return self.cfg.finish()
+
+    def _sequence(self, frontier: List[_Dangling],
+                  statements: Sequence[object]) -> List[_Dangling]:
+        for statement in statements:
+            frontier = self._statement(frontier, statement)
+        return frontier
+
+    def _statement(self, frontier: List[_Dangling],
+                   statement: object) -> List[_Dangling]:
+        line = getattr(statement, "line", 0)
+        if isinstance(statement, (TAssign, TNew, TDispose)):
+            node = self._node(STMT, statement, line)
+            self._wire(frontier, node)
+            return [(node, None, True)]
+        if isinstance(statement, TAssertStmt):
+            node = self._node(ANNOTATION, statement, line)
+            self._wire(frontier, node)
+            return [(node, None, True)]
+        if isinstance(statement, TIf):
+            node = self._node(BRANCH, statement, line)
+            self._wire(frontier, node)
+            after = self._sequence([(node, statement.cond, True)],
+                                   statement.then_body)
+            after += self._sequence([(node, statement.cond, False)],
+                                    statement.else_body)
+            return after
+        if isinstance(statement, TWhile):
+            # The loop head is an annotation node (the invariant is
+            # assumed and checked there) followed by the guard branch;
+            # the body loops back to the head.
+            head = self._node(ANNOTATION, statement, line)
+            self._wire(frontier, head)
+            node = self._node(BRANCH, statement, line)
+            self._wire([(head, None, True)], node)
+            back = self._sequence([(node, statement.cond, True)],
+                                  statement.body)
+            self._wire(back, head)
+            return [(node, statement.cond, False)]
+        raise TypeError(f"unknown statement node {statement!r}")
+
+
+def from_statements(statements: Sequence[object]) -> CFG:
+    """Build the CFG of a statement sequence."""
+    return _Builder().build(statements)
+
+
+def from_program(program: TypedProgram) -> CFG:
+    """Build the CFG of a typed program's body."""
+    return from_statements(program.body)

@@ -1,0 +1,51 @@
+"""Diagnostics reported by the static analyses.
+
+A :class:`Diagnostic` is one finding of a lint: a stable code (the
+lint's name), a severity, a human-readable message and a source
+position.  The CLI renders them ``file:line:col: severity: [code]
+message`` and exits nonzero when any error-severity diagnostic was
+produced.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is.
+
+    Errors are definite problems (a dereference that always fails, an
+    assertion that cannot be checked); warnings are likely mistakes
+    (dead stores, unreachable code, reads of never-assigned pointers).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static analysis."""
+
+    code: str
+    severity: Severity
+    message: str
+    line: int
+    column: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.line}:{self.column}: {self.severity.value}: "
+                f"[{self.code}] {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "line": self.line,
+            "column": self.column,
+        }

@@ -4,7 +4,9 @@ Usage::
 
     repro-verify verify FILE.pas [--verbose] [--no-simulate]
                                  [--profile] [--trace] [--json]
-    repro-verify table  [NAME ...] [--json]   # the §6 statistics table
+                                 [--no-reduce]
+    repro-verify table  [NAME ...] [--json] [--no-reduce]
+    repro-verify lint   FILE.pas [...] [--json] [--strict]
     repro-verify show   NAME            # print a bundled example program
     repro-verify list                   # list the bundled programs
 
@@ -18,7 +20,12 @@ environment variable, which acts like ``--trace``):
 * ``--json`` — emit the machine-readable run report instead of text.
 
 ``verify`` exits 0 when the program verifies, 1 when it fails, 2 on
-usage or front-end errors.
+usage or front-end errors.  ``lint`` exits 0 when no diagnostics (or
+only warnings, without ``--strict``) were produced, 1 on
+error-severity diagnostics (or any, with ``--strict``).  ``--no-reduce``
+disables the cone-of-influence track reduction
+(:mod:`repro.analysis.coi`) — an escape hatch and A/B switch; results
+are identical either way.
 """
 
 from __future__ import annotations
@@ -61,6 +68,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify_cmd.add_argument("--json", action="store_true",
                             help="emit the machine-readable JSON run "
                                  "report instead of the text report")
+    verify_cmd.add_argument("--no-reduce", action="store_true",
+                            help="keep every variable track (disable "
+                                 "the cone-of-influence reduction)")
 
     table_cmd = commands.add_parser(
         "table", help="regenerate the paper's statistics table")
@@ -70,6 +80,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     table_cmd.add_argument("--json", action="store_true",
                            help="emit one JSON run report per program "
                                 "instead of the text table")
+    table_cmd.add_argument("--no-reduce", action="store_true",
+                           help="keep every variable track (disable "
+                                "the cone-of-influence reduction)")
+
+    lint_cmd = commands.add_parser(
+        "lint", help="run the static pointer lints over programs")
+    lint_cmd.add_argument("files", nargs="+",
+                          help="paths to .pas sources, or bundled "
+                               "program names")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit the machine-readable JSON "
+                               "diagnostics report")
+    lint_cmd.add_argument("--strict", action="store_true",
+                          help="exit nonzero on warnings too, not "
+                               "just errors")
 
     show_cmd = commands.add_parser(
         "show", help="print a bundled example program")
@@ -108,7 +133,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         results = []
         for name in names:
             source = _load(name)
-            results.append(verify_source(source))
+            results.append(verify_source(source,
+                                         reduce=not args.no_reduce))
         if args.json:
             import json as _json
             print(_json.dumps([result.to_dict() for result in results],
@@ -116,10 +142,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             print(format_table(results))
         return 0 if all(result.valid for result in results) else 1
+    if args.command == "lint":
+        return _lint(args.files, as_json=args.json, strict=args.strict)
     if args.command == "verify":
         source = _load(args.file)
         tracer = _make_tracer(args)
         result = verify_source(source, simulate=not args.no_simulate,
+                               reduce=not args.no_reduce,
                                tracer=tracer)
         if args.json:
             print(format_json(result))
@@ -132,6 +161,42 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "synth":
         return _synthesize(args.formula, args.program)
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _lint(files: List[str], as_json: bool, strict: bool) -> int:
+    """Lint sources; exit 1 on errors (with --strict, on anything)."""
+    from repro.analysis import Severity, lint_source
+
+    targets = []
+    errors = warnings = 0
+    for spec in files:
+        diagnostics = lint_source(_load(spec))
+        file_errors = sum(1 for d in diagnostics
+                          if d.severity is Severity.ERROR)
+        file_warnings = len(diagnostics) - file_errors
+        errors += file_errors
+        warnings += file_warnings
+        targets.append({
+            "file": spec,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+            "errors": file_errors,
+            "warnings": file_warnings,
+        })
+        if not as_json:
+            for diagnostic in diagnostics:
+                print(f"{spec}:{diagnostic}")
+    if as_json:
+        import json as _json
+        print(_json.dumps({
+            "schema_version": 1,
+            "targets": targets,
+            "errors": errors,
+            "warnings": warnings,
+        }, indent=2))
+    elif errors or warnings:
+        print(f"{errors} error(s), {warnings} warning(s) in "
+              f"{len(files)} file(s)")
+    return 1 if errors or (strict and warnings) else 0
 
 
 def _make_tracer(args: argparse.Namespace) -> Optional[obs_trace.Tracer]:

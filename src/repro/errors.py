@@ -51,4 +51,17 @@ class TranslationError(ReproError):
 
 class VerificationError(ReproError):
     """The verification engine was used incorrectly (for example, a
-    triple was built from an unchecked program)."""
+    triple was built from an unchecked program).
+
+    Attributes:
+        line: 1-based line of the offending statement, or 0 if unknown.
+        column: 1-based column of the offending statement, or 0 if
+            unknown.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column

@@ -52,6 +52,42 @@ def _formula(node: object, schema: Schema,
     raise TranslationError(f"unknown formula node {node!r}")
 
 
+def free_program_vars(formula: object) -> FrozenSet[str]:
+    """The program variables an assertion mentions.
+
+    Bound cell variables (``ex q: ...``) shadow program variables of
+    the same name and are excluded, so on a checked formula the result
+    is a subset of the schema's variables.  ``nil`` is never included.
+    """
+    return _free_vars(formula, frozenset())
+
+
+def _free_vars(node: object, bound: FrozenSet[str]) -> FrozenSet[str]:
+    if isinstance(node, (ast.STrue, ast.SFalse)):
+        return frozenset()
+    if isinstance(node, (ast.SEq, ast.SRoute)):
+        return _term_vars(node.left, bound) | _term_vars(node.right, bound)
+    if isinstance(node, ast.SNot):
+        return _free_vars(node.inner, bound)
+    if isinstance(node, (ast.SAnd, ast.SOr, ast.SImplies, ast.SIff)):
+        return _free_vars(node.left, bound) | _free_vars(node.right, bound)
+    if isinstance(node, (ast.SEx, ast.SAll)):
+        return _free_vars(node.body, bound | frozenset(node.names))
+    raise TranslationError(f"unknown formula node {node!r}")
+
+
+def _term_vars(node: object, bound: FrozenSet[str]) -> FrozenSet[str]:
+    if isinstance(node, ast.TermNil):
+        return frozenset()
+    if isinstance(node, ast.TermVar):
+        if node.name in bound:
+            return frozenset()
+        return frozenset([node.name])
+    if isinstance(node, ast.TermDeref):
+        return _term_vars(node.base, bound)
+    raise TranslationError(f"unknown term node {node!r}")
+
+
 def _term(node: object, schema: Schema, bound: FrozenSet[str]) -> None:
     if isinstance(node, ast.TermNil):
         return

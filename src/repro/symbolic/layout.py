@@ -10,11 +10,17 @@ the logic this becomes one free second-order variable — one automaton
 :class:`Symbol` strings and automaton words, and registers the tracks
 with a compiler in a deterministic order (labels first, then program
 variables) so BDD variable orders are reproducible.
+
+A layout may be *reduced* to a subset of the program variables
+(cone-of-influence reduction, :mod:`repro.analysis.coi`): variables
+outside the subset get no track at all, shrinking every automaton's
+alphabet.  Data variables are never dropped — their segments carry the
+string's structure — so only pointer variables can be reduced away.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import StoreError
 from repro.mso.ast import Var
@@ -25,19 +31,42 @@ from repro.stores.schema import Schema
 
 
 class TrackLayout:
-    """Second-order track variables for one program's store alphabet."""
+    """Second-order track variables for one program's store alphabet.
 
-    def __init__(self, schema: Schema) -> None:
+    Args:
+        schema: the program's store schema.
+        variables: the program variables to keep a track for (default:
+            all of them).  Data variables are always kept regardless of
+            this argument; the remaining pointer variables keep the
+            schema's declaration order.
+    """
+
+    def __init__(self, schema: Schema,
+                 variables: Optional[Iterable[str]] = None) -> None:
         self.schema = schema
         self.labels: List[Label] = [LABEL_NIL, LABEL_LIM, LABEL_GARB]
         self.labels += [record_label(type_name, variant)
                         for type_name, variant in schema.variant_labels()]
         self.label_vars: Dict[Label, Var] = {
             label: Var.second(_label_name(label)) for label in self.labels}
+        if variables is None:
+            kept = list(schema.all_vars())
+        else:
+            keep = set(variables) | set(schema.data_vars)
+            kept = [name for name in schema.all_vars() if name in keep]
         self.var_vars: Dict[str, Var] = {
-            name: Var.second(f"${name}") for name in schema.all_vars()}
+            name: Var.second(f"${name}") for name in kept}
 
     # ------------------------------------------------------------------
+
+    def var_names(self) -> List[str]:
+        """The program variables this layout keeps a track for."""
+        return list(self.var_vars)
+
+    def dropped_vars(self) -> List[str]:
+        """The program variables reduced away (no track)."""
+        return [name for name in self.schema.all_vars()
+                if name not in self.var_vars]
 
     def free_vars(self) -> List[Var]:
         """All track variables, in canonical order."""

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.mso.ast import Formula, Var, VarKind
 from repro.mso.build import FormulaBuilder as F
@@ -223,10 +223,17 @@ def initial_store(schema: Schema, layout: TrackLayout) -> SymbolicStore:
                             F.and_(F.succ(p, successor),
                                    F.mem(successor, lim_var))))
 
+    # Variables reduced away by a cone-of-influence layout have no
+    # track; their initial interpretation is simply "at nil" (position
+    # 0), which every well-formed store can realise, so transduction
+    # and wf_graph work on them unchanged.
     var_pos: Dict[str, PosFn] = {}
     for name in schema.all_vars():
-        track_var = layout.var_vars[name]
-        var_pos[name] = memo1(lambda p, tv=track_var: F.mem(p, tv))
+        track_var = layout.var_vars.get(name)
+        if track_var is None:
+            var_pos[name] = memo1(lambda p: F.first(p))
+        else:
+            var_pos[name] = memo1(lambda p, tv=track_var: F.mem(p, tv))
 
     return SymbolicStore(schema=schema, layout=layout, var_pos=var_pos,
                          next_to=memo2(next_to), next_nil=memo1(next_nil),

@@ -53,12 +53,16 @@ def wf_string(layout: TrackLayout) -> Formula:
         _nofield_cells_end_segments(layout),
         _adjacent_type_correct(layout),
     ]
-    for name in schema.all_vars():
+    # A reduced layout keeps tracks for a subset of the variables (all
+    # data variables are always kept); dropped variables simply have no
+    # constraints here.
+    for name in layout.var_names():
         parts.append(F.singleton(layout.var_vars[name]))
     for index, name in enumerate(schema.data_vars):
         parts.append(_data_var_placement(layout, index, name))
     for name, target in schema.pointer_vars.items():
-        parts.append(_pointer_var_placement(layout, name, target))
+        if name in layout.var_vars:
+            parts.append(_pointer_var_placement(layout, name, target))
     return F.conj(parts)
 
 

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, FrozenSet, List, Optional, Sequence,
+                    Tuple)
 
+from repro.analysis.coi import cone_of_influence, guard_vars
 from repro.errors import ExecutionError, VerificationError
 from repro.mso.ast import Formula
 from repro.mso.build import FormulaBuilder as F
@@ -35,11 +37,12 @@ from repro.mso.compile import CompilationStats, Compiler
 from repro.pascal import check_program, parse_program
 from repro.pascal.ast import Annotation
 from repro.pascal.typed import (TAssertStmt, TIf, TWhile, TypedProgram)
-from repro.storelogic.check import check_formula
+from repro.storelogic.check import check_formula, free_program_vars
 from repro.storelogic.eval import eval_formula
 from repro.storelogic.parser import parse_formula
 from repro.storelogic.ast import STrue
-from repro.stores.encode import decode_store
+from repro.obs.metrics import current_metrics
+from repro.stores.encode import Symbol, decode_store
 from repro.stores.model import Store
 from repro.storelogic.translate import translate_formula
 from repro.obs import trace as obs_trace
@@ -61,6 +64,9 @@ class Obligation:
     producer: Callable[[SymbolicStore], Formula]
     #: evaluates the same condition on a concrete store (explanations)
     concrete: Optional[Callable[[Store], bool]] = None
+    #: the program variables the formula mentions (cone-of-influence
+    #: seeds; see :mod:`repro.analysis.coi`)
+    vars: FrozenSet[str] = frozenset()
 
 
 @dataclass
@@ -86,6 +92,10 @@ class SubgoalResult:
     #: Phase timing tree of this decision, when a tracer was active;
     #: its total equals :attr:`seconds`.
     span: Optional[Span] = None
+    #: Automaton tracks of the full store alphabet, and after the
+    #: cone-of-influence reduction (equal when reduction is off).
+    tracks_before: int = 0
+    tracks_after: int = 0
 
     @property
     def description(self) -> str:
@@ -105,6 +115,8 @@ class SubgoalResult:
             "valid": self.valid,
             "seconds": self.seconds,
             "formula_size": self.formula_size,
+            "tracks_before": self.tracks_before,
+            "tracks_after": self.tracks_after,
             "stats": self.stats.to_dict(),
             "span": self.span.to_dict() if self.span else None,
             "counterexample": counterexample,
@@ -149,6 +161,19 @@ class VerificationResult:
         return max((result.stats.max_nodes for result in self.results),
                    default=0)
 
+    @property
+    def tracks_before(self) -> int:
+        """Tracks of the full store alphabet (max over subgoals)."""
+        return max((result.tracks_before for result in self.results),
+                   default=0)
+
+    @property
+    def tracks_after(self) -> int:
+        """Tracks actually compiled, after the cone-of-influence
+        reduction (max over subgoals)."""
+        return max((result.tracks_after for result in self.results),
+                   default=0)
+
     def aggregate_stats(self) -> CompilationStats:
         """All subgoal statistics merged into one record (counters
         summed, high-water marks maximised)."""
@@ -175,6 +200,8 @@ class VerificationResult:
             "formula_size": self.formula_size,
             "max_states": self.max_states,
             "max_nodes": self.max_nodes,
+            "tracks_before": self.tracks_before,
+            "tracks_after": self.tracks_after,
             "stats": self.aggregate_stats().to_dict(),
             "subgoals": [result.to_dict() for result in self.results],
         }
@@ -201,6 +228,10 @@ class Verifier:
         simulate: run counterexamples through the concrete interpreter
             for richer explanations.
         stop_at_first_failure: skip remaining subgoals after one fails.
+        reduce: drop automaton tracks of variables outside each
+            subgoal's cone of influence (:mod:`repro.analysis.coi`).
+            Verdicts and counterexamples are unaffected; automata only
+            get smaller.  ``--no-reduce`` on the CLI turns it off.
         tracer: record phase spans into this tracer for the duration
             of :meth:`verify` (None leaves the process's active tracer
             in charge — usually the no-op sink).
@@ -210,10 +241,12 @@ class Verifier:
                  minimize_during: bool = True,
                  simulate: bool = True,
                  stop_at_first_failure: bool = False,
+                 reduce: bool = True,
                  tracer: Optional[obs_trace.Tracer] = None) -> None:
         self.program = program
         self.minimize_during = minimize_during
         self.simulate = simulate
+        self.reduce = reduce
         self.stop_at_first_failure = stop_at_first_failure
         self.tracer = tracer
         # One concrete interpreter serves every obligation and
@@ -303,10 +336,10 @@ class Verifier:
             for inner in statement.then_body + statement.else_body:
                 if isinstance(inner, (TWhile, TAssertStmt)):
                     raise VerificationError(
-                        f"line {getattr(inner, 'line', 0)}: loops and "
-                        f"assertions inside conditional branches are not "
-                        f"supported; hoist the conditional or add a "
-                        f"cut-point assertion before it")
+                        "loops and assertions inside conditional "
+                        "branches are not supported; hoist the "
+                        "conditional or add a cut-point assertion "
+                        "before it", line=getattr(inner, "line", 0))
                 self._reject_nested_loops(inner)
 
     # ------------------------------------------------------------------
@@ -326,7 +359,8 @@ class Verifier:
         return Obligation(
             name=f"{name}: {{{text}}}",
             producer=lambda st, f=formula: translate_formula(f, st),
-            concrete=lambda store, f=formula: eval_formula(f, store))
+            concrete=lambda store, f=formula: eval_formula(f, store),
+            vars=free_program_vars(formula))
 
     def _guard_obligation(self, loop: TWhile, safe: bool = False,
                           value: Optional[bool] = None) -> Obligation:
@@ -350,7 +384,8 @@ class Verifier:
         kind = "guard is safe to evaluate" if safe else \
             f"guard is {'true' if value else 'false'}"
         return Obligation(name=f"{kind}: {loop.cond}",
-                          producer=producer, concrete=concrete)
+                          producer=producer, concrete=concrete,
+                          vars=guard_vars(loop.cond))
 
     def _eval_guard_cached(self, st: SymbolicStore,
                            loop: TWhile) -> Tuple[Formula, Formula]:
@@ -370,6 +405,18 @@ class Verifier:
     # Deciding one subgoal
     # ------------------------------------------------------------------
 
+    def _subgoal_layout(self, subgoal: Subgoal) -> TrackLayout:
+        """The track layout for one subgoal: the full alphabet, or the
+        cone-of-influence subset when reduction is on."""
+        schema = self.program.schema
+        if not self.reduce:
+            return TrackLayout(schema)
+        seeds: FrozenSet[str] = frozenset()
+        for obligation in subgoal.assume + subgoal.check:
+            seeds |= obligation.vars
+        keep = cone_of_influence(subgoal.statements, seeds, schema)
+        return TrackLayout(schema, variables=keep)
+
     def decide(self, subgoal: Subgoal) -> SubgoalResult:
         """Decide one loop-free triple completely."""
         started = time.perf_counter()
@@ -377,7 +424,17 @@ class Verifier:
                             description=subgoal.description) as sub:
             schema = self.program.schema
             compiler = Compiler(minimize_during=self.minimize_during)
-            layout = TrackLayout(schema)
+            layout = self._subgoal_layout(subgoal)
+            tracks_before = len(layout.labels) + len(schema.all_vars())
+            tracks_after = len(layout.free_vars())
+            metrics = current_metrics()
+            metrics.gauge("verify.tracks_before").set(tracks_before)
+            metrics.gauge("verify.tracks_after").set(tracks_after)
+            metrics.counter("verify.tracks_dropped").inc(
+                tracks_before - tracks_after)
+            if sub:
+                sub.annotate(tracks_before=tracks_before,
+                             tracks_after=tracks_after)
             layout.register(compiler)
             st0 = initial_store(schema, layout)
             with obs_trace.span("exec.symbolic") as sp:
@@ -422,7 +479,9 @@ class Verifier:
                              counterexample=counterexample,
                              stats=compiler.stats,
                              formula_size=formula_size, seconds=elapsed,
-                             span=sub if sub else None)
+                             span=sub if sub else None,
+                             tracks_before=tracks_before,
+                             tracks_after=tracks_after)
 
     # ------------------------------------------------------------------
     # Counterexamples
@@ -434,6 +493,13 @@ class Verifier:
                               ) -> Counterexample:
         with obs_trace.span("counterexample.decode") as sp:
             symbols = layout.word_to_symbols(word, compiler.tracks())
+            # Variables reduced away carry no track; the reduced
+            # system assumed them nil, so place them on position 0.
+            dropped = layout.dropped_vars()
+            if dropped and symbols:
+                symbols[0] = Symbol(
+                    symbols[0].label,
+                    symbols[0].bitmap | frozenset(dropped))
             store = decode_store(self.program.schema, symbols)
             if sp:
                 sp.annotate(word_length=len(word))

@@ -1,0 +1,131 @@
+"""Tests for CFG construction and the dataflow framework."""
+
+from typing import FrozenSet, Sequence
+
+from repro.analysis import cfg as cfg_mod
+from repro.analysis.cfg import ANNOTATION, BRANCH, STMT
+from repro.analysis.dataflow import Analysis, FORWARD, solve
+from repro.pascal import check_program, parse_program
+from repro.pascal.typed import TAssign, TIf, TNew, TWhile, VarLhs
+from repro.programs import ALL_PROGRAMS
+
+
+def build(name):
+    program = check_program(parse_program(ALL_PROGRAMS[name]))
+    return program, cfg_mod.from_program(program)
+
+
+class TestConstruction:
+    def test_straight_line(self):
+        program, graph = build("triple")
+        stmts = [n for n in graph.nodes if n.kind == STMT]
+        assert len(stmts) == 3  # new, q^.next := nil, p^.next := q
+        # entry -> s1 -> s2 -> s3 -> exit, one edge each
+        chain = [graph.entry] + [n.index for n in stmts] + [graph.exit]
+        for src, dst in zip(chain, chain[1:]):
+            assert [e.dst for e in graph.successors(src)] == [dst]
+
+    def test_if_branches_and_merge(self):
+        program, graph = build("insert")
+        branches = [n for n in graph.nodes if n.kind == BRANCH]
+        assert len(branches) == 1
+        branch = branches[0]
+        out = graph.successors(branch.index)
+        assert sorted(e.value for e in out) == [False, True]
+        assert all(e.guard is branch.statement.cond for e in out)
+        # Both arms have four statements and meet at the exit.
+        preds = graph.predecessors(graph.exit)
+        assert len(preds) == 2
+
+    def test_empty_else_falls_through(self):
+        program, graph = build("rotate")
+        branch = next(n for n in graph.nodes if n.kind == BRANCH)
+        false_edge = next(e for e in graph.successors(branch.index)
+                          if not e.value)
+        assert false_edge.dst == graph.exit
+
+    def test_while_shape(self):
+        program, graph = build("reverse")
+        head = next(n for n in graph.nodes if n.kind == ANNOTATION)
+        branch = next(n for n in graph.nodes if n.kind == BRANCH)
+        assert isinstance(head.statement, TWhile)
+        assert head.statement is branch.statement
+        # head -> branch; branch true edge enters the body, false edge
+        # leaves; the last body statement loops back to the head.
+        assert [e.dst for e in graph.successors(head.index)] == \
+            [branch.index]
+        out = {e.value: e.dst for e in graph.successors(branch.index)}
+        assert out[False] == graph.exit
+        back = [e.src for e in graph.predecessors(head.index)]
+        assert graph.entry in back
+        assert len(back) == 2  # entry plus the loop back edge
+
+    def test_statement_nodes_in_source_order(self):
+        program, graph = build("zip")
+        lines = [n.line for n in graph.statement_nodes()]
+        assert lines == sorted(lines)
+
+    def test_every_node_structurally_connected(self):
+        for name in ALL_PROGRAMS:
+            program, graph = build(name)
+            for node in graph.nodes:
+                if node.index != graph.entry:
+                    assert graph.predecessors(node.index), \
+                        f"{name}: node {node.index} has no predecessor"
+                if node.index != graph.exit:
+                    assert graph.successors(node.index), \
+                        f"{name}: node {node.index} has no successor"
+
+
+class _MustAssigned(Analysis[FrozenSet[str]]):
+    """Toy client: variables assigned on every path to a node."""
+
+    direction = FORWARD
+
+    def boundary(self, graph):
+        return frozenset()
+
+    def join(self, states: Sequence[FrozenSet[str]]) -> FrozenSet[str]:
+        result = states[0]
+        for state in states[1:]:
+            result = result & state
+        return result
+
+    def transfer(self, node, state):
+        statement = node.statement
+        if isinstance(statement, (TAssign, TNew)) and \
+                isinstance(statement.lhs, VarLhs):
+            return state | {statement.lhs.name}
+        return state
+
+
+class TestSolve:
+    def test_must_assigned_through_loop(self):
+        # searchwf assigns p before its loop, so p is assigned on
+        # every path to the exit; reverse assigns x, y, p only inside
+        # the loop, which may run zero times.
+        program, graph = build("searchwf")
+        result = solve(graph, _MustAssigned())
+        assert result.inputs[graph.exit] == frozenset({"p"})
+        program, graph = build("reverse")
+        result = solve(graph, _MustAssigned())
+        assert result.inputs[graph.exit] == frozenset()
+
+    def test_must_assigned_joins_branches(self):
+        # insert assigns q and p in both arms of its conditional, so
+        # both are must-assigned at the exit — but nothing is at the
+        # start of either arm.
+        program, graph = build("insert")
+        result = solve(graph, _MustAssigned())
+        assert result.inputs[graph.exit] == frozenset({"p", "q"})
+        branch = next(n for n in graph.nodes if n.kind == BRANCH)
+        then_first = next(e.dst for e in graph.successors(branch.index)
+                          if e.value)
+        assert result.inputs[then_first] == frozenset()
+
+    def test_all_nodes_reachable_without_refinement(self):
+        for name in ALL_PROGRAMS:
+            program, graph = build(name)
+            result = solve(graph, _MustAssigned())
+            assert all(result.reachable(node.index)
+                       for node in graph.nodes), name

@@ -1,0 +1,90 @@
+"""Tests for the cone-of-influence pass and its use by the verifier."""
+
+from repro.analysis.coi import cone_of_influence, guard_vars
+from repro.pascal import check_program, parse_program
+from repro.programs import ALL_PROGRAMS
+from repro.verify.engine import Verifier
+
+
+def typed(name):
+    return check_program(parse_program(ALL_PROGRAMS[name]))
+
+
+def subgoal_layouts(name):
+    """description -> kept variable names, per subgoal."""
+    verifier = Verifier(typed(name))
+    return {subgoal.description:
+            verifier._subgoal_layout(subgoal).var_names()
+            for subgoal in verifier.collect_subgoals()}
+
+
+class TestConeOfInfluence:
+    def test_guard_vars(self):
+        program = typed("search")
+        loop = program.body[1]
+        assert guard_vars(loop.cond) == frozenset({"p"})
+
+    def test_data_vars_always_kept(self):
+        program = typed("reverse")
+        keep = cone_of_influence((), frozenset(), program.schema)
+        assert keep == frozenset({"x", "y"})
+
+    def test_swap_body_needs_only_x(self):
+        # p is assigned before every read, so only the data variable
+        # feeds the (empty) obligations.
+        program = typed("swap")
+        keep = cone_of_influence(tuple(program.body), frozenset(),
+                                 program.schema)
+        assert keep == frozenset({"x"})
+
+    def test_assignment_chain_is_followed(self):
+        # In reverse's loop body, the seed x is reached through the
+        # intermediate p := x^.next; x := p chain.
+        program = typed("reverse")
+        body = program.body[0].body
+        keep = cone_of_influence(body, frozenset({"x"}),
+                                 program.schema)
+        assert keep == frozenset({"x", "y"})
+
+    def test_dereference_base_always_relevant(self):
+        # Even with no seeds, v := base^.next keeps base: the
+        # dereference can fail and the error outcome is checked.
+        program = typed("append")
+        loop = program.body[1]
+        keep = cone_of_influence(loop.body, frozenset(),
+                                 program.schema)
+        assert "p" in keep
+
+    def test_dispose_keeps_everything(self):
+        # delete frees cells; a dangling pointer is only caught by the
+        # dropped variable's own well-formedness conjunct.
+        program = typed("delete")
+        keep = cone_of_influence(tuple(program.body), frozenset(),
+                                 program.schema)
+        assert keep == frozenset(program.schema.all_vars())
+
+
+class TestVerifierLayouts:
+    def test_reverse_drops_p_in_every_subgoal(self):
+        for description, kept in subgoal_layouts("reverse").items():
+            assert kept == ["x", "y"], description
+
+    def test_delete_keeps_everything(self):
+        for description, kept in subgoal_layouts("delete").items():
+            assert kept == ["x", "p", "q"], description
+
+    def test_zip_drops_per_subgoal(self):
+        layouts = subgoal_layouts("zip")
+        entry = layouts["loop entry (line 13)"]
+        assert entry == ["x", "y", "z"]  # p assigned, t dead here
+        post = layouts["postcondition"]
+        assert post == ["x", "y", "z", "p"]  # invariant mentions p
+        preservation = layouts["invariant preservation (line 13)"]
+        assert preservation == ["x", "y", "z", "p"]  # t still dropped
+
+    def test_no_reduce_keeps_everything(self):
+        verifier = Verifier(typed("reverse"), reduce=False)
+        for subgoal in verifier.collect_subgoals():
+            layout = verifier._subgoal_layout(subgoal)
+            assert layout.var_names() == ["x", "y", "p"]
+            assert layout.dropped_vars() == []

@@ -1,0 +1,188 @@
+"""Tests for the pointer lints: one positive and one negative case per
+lint, plus the known-clean sweep over the bundled examples."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import Severity, lint_source
+from repro.programs import ALL_PROGRAMS
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+HEADER = """\
+program t;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+"""
+
+
+def lint(body: str):
+    return lint_source(HEADER + body)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestNilDeref:
+    def test_assigned_nil_then_dereferenced(self):
+        found = lint("begin\n  p := nil;\n  p^.next := nil\nend.\n")
+        assert "nil-deref" in codes(found)
+        diagnostic = next(d for d in found if d.code == "nil-deref")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.line == 10
+        assert "'p'" in diagnostic.message
+
+    def test_precondition_fact(self):
+        found = lint("begin\n  {p = nil}\n  q := p^.next\nend.\n")
+        assert "nil-deref" in codes(found)
+
+    def test_guard_refinement_flags_then_branch(self):
+        found = lint("begin\n  p := x;\n"
+                     "  if p = nil then q := p^.next else q := p\nend.\n")
+        assert "nil-deref" in codes(found)
+
+    def test_negative_guard_protects_dereference(self):
+        found = lint("begin\n  p := nil;\n"
+                     "  if p <> nil then q := p^.next\nend.\n")
+        assert "nil-deref" not in codes(found)
+
+    def test_negative_short_circuit_guard(self):
+        # The right conjunct only evaluates once p <> nil held.
+        found = lint("begin\n  p := nil;\n"
+                     "  while p <> nil and p^.tag = red do\n"
+                     "    p := p^.next\nend.\n")
+        assert "nil-deref" not in codes(found)
+
+    def test_negative_unknown_value(self):
+        found = lint("begin\n  p := x;\n  q := p^.next\nend.\n")
+        assert "nil-deref" not in codes(found)
+
+
+class TestUseBeforeAssign:
+    def test_read_of_unassigned_pointer(self):
+        found = lint("begin\n  q := p\nend.\n")
+        assert codes(found) == ["use-before-assign"]
+        assert found[0].severity is Severity.WARNING
+        assert found[0].line == 9
+        assert "'p'" in found[0].message
+
+    def test_reported_once_per_variable(self):
+        found = lint("begin\n  q := p;\n  x := p\nend.\n")
+        assert codes(found).count("use-before-assign") == 1
+
+    def test_negative_annotated_variables_are_inputs(self):
+        found = lint("begin\n  {p <> nil}\n  q := p\nend.\n")
+        assert "use-before-assign" not in codes(found)
+
+    def test_negative_assignment_first(self):
+        found = lint("begin\n  p := x;\n  q := p\nend.\n")
+        assert "use-before-assign" not in codes(found)
+
+    def test_positive_one_branch_only(self):
+        found = lint("begin\n  if x = nil then p := x;\n  q := p\nend.\n")
+        assert "use-before-assign" in codes(found)
+
+
+class TestDeadAssignment:
+    def test_value_never_used(self):
+        found = lint("begin\n  p := x;\n  q := x\n  {x = nil}\nend.\n")
+        dead = [d for d in found if d.code == "dead-assignment"]
+        assert [d.line for d in dead] == [9, 10]
+        assert all(d.severity is Severity.WARNING for d in dead)
+
+    def test_overwritten_before_use(self):
+        found = lint("begin\n  p := x;\n  p := nil\n  {p = nil}\nend.\n")
+        dead = [d for d in found if d.code == "dead-assignment"]
+        assert [d.line for d in dead] == [9]
+
+    def test_negative_read_later(self):
+        found = lint("begin\n  p := x;\n  q := p^.next\n"
+                     "  {x = nil}\nend.\n")
+        assert [d.line for d in found
+                if d.code == "dead-assignment"] == [10]  # q, not p
+
+    def test_negative_no_postcondition_keeps_all_live(self):
+        found = lint("begin\n  p := x;\n  q := x\nend.\n")
+        assert "dead-assignment" not in codes(found)
+
+    def test_negative_annotation_counts_as_use(self):
+        found = lint("begin\n  p := x\n  {p = nil}\nend.\n")
+        assert "dead-assignment" not in codes(found)
+
+
+class TestUnreachable:
+    def test_infeasible_branch(self):
+        found = lint("begin\n  p := nil;\n"
+                     "  if p <> nil then q := x else q := nil\nend.\n")
+        assert "unreachable" in codes(found)
+        diagnostic = next(d for d in found if d.code == "unreachable")
+        assert diagnostic.severity is Severity.WARNING
+        assert diagnostic.line == 10
+
+    def test_only_region_head_reported(self):
+        found = lint("begin\n  p := nil;\n"
+                     "  if p <> nil then begin\n"
+                     "    q := x;\n    q := q^.next;\n    x := q\n"
+                     "  end\nend.\n")
+        assert codes(found).count("unreachable") == 1
+
+    def test_negative_both_branches_possible(self):
+        found = lint("begin\n  p := x;\n"
+                     "  if p <> nil then q := x else q := nil\nend.\n")
+        assert "unreachable" not in codes(found)
+
+
+class TestBadAssertion:
+    def test_unknown_variable(self):
+        found = lint("begin\n  {nosuch = nil}\n  p := x\nend.\n")
+        assert "bad-assertion" in codes(found)
+        diagnostic = next(d for d in found if d.code == "bad-assertion")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.line == 9
+        assert "nosuch" in diagnostic.message
+
+    def test_unparseable_assertion(self):
+        found = lint("begin\n  p := x\n  {p = }\nend.\n")
+        assert "bad-assertion" in codes(found)
+
+    def test_invariant_checked_too(self):
+        found = lint("begin\n  while x <> nil do\n"
+                     "    {x<wrongfield*>p}\n    x := x^.next\nend.\n")
+        assert "bad-assertion" in codes(found)
+
+    def test_negative_valid_annotations(self):
+        found = lint("begin\n  {x <> nil}\n  p := x\n"
+                     "  {x<next*>p}\nend.\n")
+        assert "bad-assertion" not in codes(found)
+
+
+class TestFrontEnd:
+    def test_parse_error_becomes_diagnostic(self):
+        found = lint_source("program broken; begin x := ; end.")
+        assert codes(found) == ["front-end"]
+        assert found[0].severity is Severity.ERROR
+        assert found[0].line > 0
+
+
+class TestCleanSweep:
+    """No false positives on the bundled corpus (satellite task)."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_bundled_program_is_clean(self, name):
+        assert lint_source(ALL_PROGRAMS[name]) == []
+
+    def test_examples_directory_matches_bundled_programs(self):
+        on_disk = {path.stem: path.read_text(encoding="utf-8")
+                   for path in EXAMPLES.glob("*.pas")}
+        assert on_disk == ALL_PROGRAMS
+
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_example_file_is_clean(self, name):
+        source = (EXAMPLES / f"{name}.pas").read_text(encoding="utf-8")
+        assert lint_source(source) == []

@@ -152,3 +152,101 @@ class TestSynth:
     def test_bad_formula_reports_error(self, capsys):
         assert main(["synth", "x <"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+BAD_PROGRAM = """\
+program bad;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  p := nil;
+  q := p^.next
+end.
+"""
+
+WARN_PROGRAM = """\
+program warn;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  q := p
+end.
+"""
+
+
+class TestLint:
+    def test_clean_bundled_program(self, capsys):
+        assert main(["lint", "searchwf"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_clean_example_files(self, capsys):
+        import pathlib
+        examples = sorted(str(path) for path in
+                          (pathlib.Path(__file__).resolve().parent.parent
+                           / "examples").glob("*.pas"))
+        assert examples
+        assert main(["lint"] + examples) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_error_diagnostic_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.pas"
+        path.write_text(BAD_PROGRAM)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "nil-deref" in out
+        assert f"{path}:10:" in out
+        assert "1 error(s)" in out
+
+    def test_warnings_exit_zero_without_strict(self, tmp_path, capsys):
+        path = tmp_path / "warn.pas"
+        path.write_text(WARN_PROGRAM)
+        assert main(["lint", str(path)]) == 0
+        assert "use-before-assign" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        path = tmp_path / "warn.pas"
+        path.write_text(WARN_PROGRAM)
+        assert main(["lint", "--strict", str(path)]) == 1
+
+    def test_json_envelope(self, tmp_path, capsys):
+        path = tmp_path / "bad.pas"
+        path.write_text(BAD_PROGRAM)
+        assert main(["lint", "--json", str(path), "searchwf"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema_version"] == 1
+        assert report["errors"] == 1
+        assert [t["file"] for t in report["targets"]] == \
+            [str(path), "searchwf"]
+        diagnostic = report["targets"][0]["diagnostics"][0]
+        assert diagnostic["code"] == "nil-deref"
+        assert diagnostic["severity"] == "error"
+        assert diagnostic["line"] == 10
+        assert report["targets"][1]["diagnostics"] == []
+
+    def test_front_end_error_is_a_diagnostic(self, tmp_path, capsys):
+        path = tmp_path / "broken.pas"
+        path.write_text("program broken; begin x := ; end.")
+        assert main(["lint", str(path)]) == 1
+        assert "front-end" in capsys.readouterr().out
+
+
+class TestNoReduce:
+    def test_verify_no_reduce(self, capsys):
+        assert main(["verify", "searchwf", "--no-reduce", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tracks_before"] == report["tracks_after"] > 0
+
+    def test_verify_reduce_default_drops_tracks(self, capsys):
+        assert main(["verify", "reverse", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tracks_after"] < report["tracks_before"]
+        for subgoal in report["subgoals"]:
+            assert subgoal["tracks_after"] <= subgoal["tracks_before"]

@@ -70,6 +70,16 @@ class TestSubgoalSplitting:
                 "    while p <> nil do p := p^.next\n"
                 "  end")
 
+    def test_loop_inside_if_rejection_carries_position(self):
+        with pytest.raises(VerificationError) as excinfo:
+            self.build(
+                "  if x = nil then begin\n"
+                "    while p <> nil do p := p^.next\n"
+                "  end")
+        assert excinfo.value.line > 0
+        assert str(excinfo.value).startswith(
+            f"{excinfo.value.line}:")
+
 
 class TestLoopFreeTriples:
     def test_trivial_skip_verifies(self):
@@ -201,6 +211,14 @@ class TestResultApi:
         assert result.max_states > 0
         assert result.max_nodes > 0
         assert result.counterexample is None
+
+    def test_track_metrics_in_dict(self):
+        result = verify_body("  p := x", post="p = x")
+        report = result.to_dict()
+        assert report["tracks_before"] >= report["tracks_after"] > 0
+        for subgoal in report["subgoals"]:
+            assert subgoal["tracks_before"] >= \
+                subgoal["tracks_after"] > 0
 
     def test_format_result_verified(self):
         result = verify_body("  p := x", post="p = x")
