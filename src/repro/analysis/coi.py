@@ -11,8 +11,14 @@ verifier drops it (:class:`repro.symbolic.layout.TrackLayout` with a
 
 The pass is a backward may-influence analysis over the statements:
 
-* the seed set is every variable free in an assume/check formula or a
-  loop guard obligation;
+* the seed set is every variable free in a check formula or a loop
+  guard obligation — conditions read from the *final* store, which is
+  why assignments in between may kill them; variables of assume
+  formulas are read from the *initial* store and join the keep set
+  after the pass, untouched by kills (an assignment downstream cannot
+  make the initial value irrelevant: dropping the track would pin the
+  variable to nil in the initial store and change what the assumption
+  means);
 * ``v := path`` kills ``v`` and gens the path's variable (when ``v``
   is relevant); any dereference also gens its base unconditionally,
   because a dereference can *fail* and the error outcome is always
@@ -44,13 +50,21 @@ from repro.stores.schema import Schema
 
 def cone_of_influence(statements: Sequence[object],
                       seeds: Iterable[str],
-                      schema: Schema) -> FrozenSet[str]:
+                      schema: Schema,
+                      assume_seeds: Iterable[str] = ()
+                      ) -> FrozenSet[str]:
     """The variables that can influence the seeds through the
-    (loop-free) statements; always includes the data variables."""
+    (loop-free) statements; always includes the data variables.
+
+    ``seeds`` are read from the store *after* the statements (check
+    obligations) and flow backward through kills; ``assume_seeds`` are
+    read from the *initial* store (assume obligations) and are kept
+    unconditionally — an assignment in the statements must not hide
+    them."""
     if _disposes(statements):
         return frozenset(schema.all_vars())
     relevant = frozenset(seeds) | frozenset(schema.data_vars)
-    return _backward(statements, relevant)
+    return _backward(statements, relevant) | frozenset(assume_seeds)
 
 
 def guard_vars(guard: TGuard) -> FrozenSet[str]:

@@ -427,8 +427,12 @@ class _UnassignedAnalysis(Analysis[FrozenSet[str]]):
     def __init__(self, program: TypedProgram) -> None:
         annotated: Set[str] = set()
         for annotation in _annotations(program):
-            annotated |= _annotation_vars(annotation, program) \
-                or frozenset(program.schema.all_vars())
+            # None means the annotation does not parse (bad-assertion
+            # reports that); an empty set is a real answer — {true}
+            # exempts nothing.
+            found = _annotation_vars(annotation, program)
+            annotated |= frozenset(program.schema.all_vars()) \
+                if found is None else found
         self.initial = frozenset(
             name for name in program.schema.pointer_vars
             if name not in annotated)

@@ -278,6 +278,13 @@ class Verifier:
                 if self.stop_at_first_failure and \
                         not result.results[-1].valid:
                     break
+            # Gauges mirror the JSON report: the max over subgoals,
+            # not whichever subgoal happened to be decided last.
+            metrics = current_metrics()
+            metrics.gauge("verify.tracks_before").set(
+                result.tracks_before)
+            metrics.gauge("verify.tracks_after").set(
+                result.tracks_after)
         return result
 
     # ------------------------------------------------------------------
@@ -411,10 +418,18 @@ class Verifier:
         schema = self.program.schema
         if not self.reduce:
             return TrackLayout(schema)
-        seeds: FrozenSet[str] = frozenset()
-        for obligation in subgoal.assume + subgoal.check:
-            seeds |= obligation.vars
-        keep = cone_of_influence(subgoal.statements, seeds, schema)
+        # Assume obligations are evaluated on the initial store, so
+        # their variables must keep their tracks no matter what the
+        # statements later overwrite; only check obligations (read
+        # from the final store) flow backward through kills.
+        assume_vars: FrozenSet[str] = frozenset()
+        for obligation in subgoal.assume:
+            assume_vars |= obligation.vars
+        check_vars: FrozenSet[str] = frozenset()
+        for obligation in subgoal.check:
+            check_vars |= obligation.vars
+        keep = cone_of_influence(subgoal.statements, check_vars,
+                                 schema, assume_seeds=assume_vars)
         return TrackLayout(schema, variables=keep)
 
     def decide(self, subgoal: Subgoal) -> SubgoalResult:
@@ -427,10 +442,7 @@ class Verifier:
             layout = self._subgoal_layout(subgoal)
             tracks_before = len(layout.labels) + len(schema.all_vars())
             tracks_after = len(layout.free_vars())
-            metrics = current_metrics()
-            metrics.gauge("verify.tracks_before").set(tracks_before)
-            metrics.gauge("verify.tracks_after").set(tracks_after)
-            metrics.counter("verify.tracks_dropped").inc(
+            current_metrics().counter("verify.tracks_dropped").inc(
                 tracks_before - tracks_after)
             if sub:
                 sub.annotate(tracks_before=tracks_before,

@@ -55,6 +55,16 @@ class TestConeOfInfluence:
                                  program.schema)
         assert "p" in keep
 
+    def test_assume_seeds_survive_kills(self):
+        # p is assigned before every read in swap's body, so the
+        # backward pass alone would drop it — but an assume formula
+        # reads it from the *initial* store, so its track stays.
+        program = typed("swap")
+        keep = cone_of_influence(tuple(program.body), frozenset(),
+                                 program.schema,
+                                 assume_seeds=frozenset({"p"}))
+        assert keep == frozenset({"x", "p"})
+
     def test_dispose_keeps_everything(self):
         # delete frees cells; a dangling pointer is only caught by the
         # dropped variable's own well-formedness conjunct.

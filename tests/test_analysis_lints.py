@@ -80,6 +80,13 @@ class TestUseBeforeAssign:
         found = lint("begin\n  {p <> nil}\n  q := p\nend.\n")
         assert "use-before-assign" not in codes(found)
 
+    def test_variable_free_annotation_exempts_nothing(self):
+        # {true} mentions no variables, so it must not be treated as
+        # annotating all of them (an empty set is a real answer, not
+        # a parse failure).
+        found = lint("begin\n  {true}\n  q := p\nend.\n")
+        assert "use-before-assign" in codes(found)
+
     def test_negative_assignment_first(self):
         found = lint("begin\n  p := x;\n  q := p\nend.\n")
         assert "use-before-assign" not in codes(found)

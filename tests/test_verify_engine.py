@@ -9,6 +9,7 @@ fast.
 import pytest
 
 from repro.errors import VerificationError
+from repro.obs.metrics import MetricsRegistry, activate_metrics
 from repro.pascal import check_program, parse_program
 from repro.verify import Verifier, verify_source
 from repro.verify.report import format_result, format_table
@@ -219,6 +220,20 @@ class TestResultApi:
         for subgoal in report["subgoals"]:
             assert subgoal["tracks_before"] >= \
                 subgoal["tracks_after"] > 0
+
+    def test_track_gauges_agree_with_report(self):
+        # The gauges must show the max over subgoals, like the JSON
+        # report — not whichever subgoal was decided last.
+        registry = MetricsRegistry()
+        with activate_metrics(registry):
+            result = verify_body(
+                "  while x <> nil do {true} x := x^.next;\n"
+                "  p := y", post="p = y")
+        assert len(result.results) > 1
+        assert registry.gauge("verify.tracks_before").value == \
+            result.tracks_before
+        assert registry.gauge("verify.tracks_after").value == \
+            result.tracks_after
 
     def test_format_result_verified(self):
         result = verify_body("  p := x", post="p = x")

@@ -55,3 +55,36 @@ class TestEquivalence:
 def test_reverse_actually_drops_tracks(results):
     reduced, _ = results["reverse"]
     assert reduced.tracks_after < reduced.tracks_before
+
+
+ASSUME_KILLED = """\
+program assumekilled;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+  {p <> nil}
+  p := nil
+  {q = nil}
+end.
+"""
+
+
+def test_assume_vars_survive_kills():
+    """An assignment must not drop the track of a variable an assume
+    formula reads from the initial store: pinning p to nil would make
+    the assumption {p <> nil} unsatisfiable and the subgoal vacuously
+    valid (regression: reduction reported VERIFIED, --no-reduce
+    FAILED)."""
+    program = check_program(parse_program(ASSUME_KILLED))
+    reduced = Verifier(program).verify()
+    unreduced = Verifier(program, reduce=False).verify()
+    assert not unreduced.valid
+    assert not reduced.valid
+    assert reduced.counterexample is not None
+    assert reduced.counterexample.explanation == \
+        unreduced.counterexample.explanation
