@@ -58,7 +58,12 @@ def test_table1_emit_json():
     seed of the benchmark trajectory."""
     assert len(_RESULTS) == len(TABLE_PROGRAMS)
     document = {
-        "schema_version": 1,
+        # Envelope version 2: the program documents are schema-v2 run
+        # reports (outcome/budget keys) and the envelope carries an
+        # outcome summary for dashboards.
+        "schema_version": 2,
+        "outcomes": {name: _RESULTS[name].outcome.value
+                     for name in TABLE_PROGRAMS},
         "programs": [_RESULTS[name].to_dict()
                      for name in TABLE_PROGRAMS],
     }
@@ -72,8 +77,12 @@ def test_table1_emit_json():
         loaded = json.load(src)
     assert [entry["program"] for entry in loaded["programs"]] == \
         list(TABLE_PROGRAMS)
+    assert all(outcome == "VERIFIED"
+               for outcome in loaded["outcomes"].values())
     for entry in loaded["programs"]:
         assert entry["valid"]
+        assert entry["outcome"] == "VERIFIED"
+        assert entry["schema_version"] == 2
         assert entry["stats"]["bdd_apply_misses"] > 0
         assert entry["max_states"] > 0
         assert entry["tracks_before"] >= entry["tracks_after"] > 0

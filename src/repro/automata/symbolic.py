@@ -24,6 +24,9 @@ from typing import (Callable, Dict, FrozenSet, Hashable, List, Mapping,
 
 from repro.bdd.mtbdd import Mtbdd
 from repro.obs import trace as obs_trace
+from repro.robust import faults
+from repro.robust.budget import check_states as _budget_check_states
+from repro.robust.budget import tick as _budget_tick
 
 Assignment = Mapping[int, bool]
 
@@ -115,6 +118,7 @@ class SymbolicDfa:
         """
         if other.mgr is not self.mgr:
             raise ValueError("product requires a shared MTBDD manager")
+        faults.fire("automata.product")
         with obs_trace.span("automata.product", detail=True) as sp:
             mgr = self.mgr
             pair_key = _fresh_key("pair")
@@ -135,6 +139,8 @@ class SymbolicDfa:
             cursor = 0
             rename_key = _fresh_key("pair-rename")
             while cursor < len(order):
+                _budget_tick("automata.product")
+                _budget_check_states("automata.product", len(order))
                 left, right = order[cursor]
                 pair_delta = mgr.apply2(pair_key, lambda a, b: (a, b),
                                         self.delta[left],
@@ -233,6 +239,7 @@ class SymbolicDfa:
         numbers, are the *same diagram* — an O(1) comparison thanks to
         hash-consing.
         """
+        faults.fire("automata.minimize")
         with obs_trace.span("automata.minimize", detail=True) as sp:
             result = self._minimize()
             if sp:
@@ -248,6 +255,7 @@ class SymbolicDfa:
                  for q in range(dfa.num_states)]
         num_blocks = len(set(block))
         while True:
+            _budget_tick("automata.minimize")
             sig_key = _fresh_key("moore")
             signatures = [
                 (block[q], mgr.map_leaves(sig_key, lambda s: block[s],
@@ -302,6 +310,7 @@ class SymbolicDfa:
         seen = {self.initial}
         queue = deque([self.initial])
         while queue:
+            _budget_tick("automata.universality")
             state = queue.popleft()
             for assignment, target in self.mgr.paths(self.delta[state]):
                 if target in seen:
@@ -377,6 +386,7 @@ class SymbolicNfa:
 
     def determinize(self) -> SymbolicDfa:
         """Subset construction directly on the shared diagrams."""
+        faults.fire("automata.determinize")
         with obs_trace.span("automata.determinize", detail=True) as sp:
             result = self._determinize()
             if sp:
@@ -406,6 +416,8 @@ class SymbolicNfa:
         accepting: Set[int] = set()
         cursor = 0
         while cursor < len(order):
+            _budget_tick("automata.determinize")
+            _budget_check_states("automata.determinize", len(order))
             subset = order[cursor]
             combined = empty
             for q in subset:

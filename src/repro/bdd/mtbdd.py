@@ -23,9 +23,15 @@ from __future__ import annotations
 from typing import (Callable, Dict, Hashable, Iterator, List, Optional,
                     Tuple)
 
+from repro.robust.budget import check_nodes as _budget_check_nodes
+from repro.robust.budget import tick as _budget_tick
+
 #: Sentinel level for leaves; larger than any real variable level so the
 #: usual top-variable computation treats leaves as "below" every node.
 LEAF_LEVEL = 1 << 60
+
+#: Node-cap checks run once per this-many + 1 node creations.
+_NODE_CHECK_MASK = 0x3FF
 
 
 class Mtbdd:
@@ -77,6 +83,8 @@ class Mtbdd:
         index = len(self._nodes)
         self._nodes.append(key)
         self._unique[key] = index
+        if (index & _NODE_CHECK_MASK) == 0:
+            _budget_check_nodes("bdd.node", index)
         return index
 
     def is_leaf(self, f: int) -> bool:
@@ -148,6 +156,7 @@ class Mtbdd:
             self.apply_hits += 1
             return cached
         self.apply_misses += 1
+        _budget_tick("bdd.apply")
         level_f, level_g = self._nodes[f][0], self._nodes[g][0]
         if level_f == LEAF_LEVEL and level_g == LEAF_LEVEL:
             result = self.leaf(op(self.leaf_value(f), self.leaf_value(g)))
@@ -173,6 +182,7 @@ class Mtbdd:
             self.map_hits += 1
             return cached
         self.map_misses += 1
+        _budget_tick("bdd.map")
         level, lo, hi = self._nodes[f]
         if level == LEAF_LEVEL:
             result = self.leaf(op(lo))
@@ -201,6 +211,7 @@ class Mtbdd:
             self.restrict_hits += 1
             return cached
         self.restrict_misses += 1
+        _budget_tick("bdd.restrict")
         if level in assignment:
             branch = hi if assignment[level] else lo
             result = self._restrict(branch, frozen, assignment)  # type: ignore[arg-type]

@@ -21,6 +21,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.robust.budget import check_nodes as _budget_check_nodes
+from repro.robust.budget import tick as _budget_tick
+from repro.robust.recursion import deep_recursion
+
+#: Node-cap checks run once per this-many + 1 node creations.
+_NODE_CHECK_MASK = 0x3FF
+
 
 class Bdd:
     """A manager owning a universe of hash-consed ROBDD nodes.
@@ -71,6 +78,8 @@ class Bdd:
         index = len(self._nodes)
         self._nodes.append(key)
         self._unique[key] = index
+        if (index & _NODE_CHECK_MASK) == 0:
+            _budget_check_nodes("bdd.node", index)
         return index
 
     def var(self, level: int) -> int:
@@ -134,18 +143,32 @@ class Bdd:
     # ------------------------------------------------------------------
 
     def not_(self, f: int) -> int:
-        """Negation."""
-        if f == self.FALSE:
-            return self.TRUE
-        if f == self.TRUE:
-            return self.FALSE
-        cached = self._not_memo.get(f)
-        if cached is not None:
-            return cached
-        level, lo, hi = self._nodes[f]
-        result = self.node(level, self.not_(lo), self.not_(hi))
-        self._not_memo[f] = result
-        return result
+        """Negation.
+
+        Iterative (explicit work stack): depth-proof against long
+        variable chains.
+        """
+        memo = self._not_memo
+        nodes = self._nodes
+        stack = [f]
+        while stack:
+            g = stack[-1]
+            if g <= self.TRUE or g in memo:
+                stack.pop()
+                continue
+            level, lo, hi = nodes[g]
+            n_lo = self.TRUE - lo if lo <= self.TRUE else memo.get(lo)
+            n_hi = self.TRUE - hi if hi <= self.TRUE else memo.get(hi)
+            if n_lo is None:
+                stack.append(lo)
+            if n_hi is None:
+                stack.append(hi)
+            if n_lo is not None and n_hi is not None:
+                memo[g] = self.node(level, n_lo, n_hi)
+                stack.pop()
+        if f <= self.TRUE:
+            return self.TRUE - f
+        return memo[f]
 
     def _apply(self, name: str, op: Callable[[int, int], Optional[int]],
                f: int, g: int) -> int:
@@ -153,32 +176,55 @@ class Bdd:
 
         ``op`` returns a terminal when the result is decided by its
         arguments alone (short-circuit table), else ``None``.
+
+        Iterative (explicit work stack), so deep variable chains
+        cannot overflow the interpreter stack; this is the hottest
+        recursion of the package.  Also a budget cancellation point
+        (one tick per computed pair).
         """
-        decided = op(f, g)
-        if decided is not None:
-            return decided
-        key = (name, f, g)
-        cached = self._apply_memo.get(key)
-        if cached is not None:
+        memo = self._apply_memo
+        nodes = self._nodes
+
+        def resolve(a: int, b: int) -> Optional[int]:
+            decided = op(a, b)
+            if decided is not None:
+                return decided
+            return memo.get((name, a, b))
+
+        result = resolve(f, g)
+        if result is not None:
             self.apply_hits += 1
-            return cached
-        self.apply_misses += 1
-        level_f, level_g = self._nodes[f][0], self._nodes[g][0]
-        if self.is_terminal(f):
-            top = level_g
-        elif self.is_terminal(g):
-            top = level_f
-        else:
-            top = min(level_f, level_g)
-        f_lo, f_hi = (f, f) if self.is_terminal(f) or level_f != top else \
-            (self._nodes[f][1], self._nodes[f][2])
-        g_lo, g_hi = (g, g) if self.is_terminal(g) or level_g != top else \
-            (self._nodes[g][1], self._nodes[g][2])
-        result = self.node(top,
-                           self._apply(name, op, f_lo, g_lo),
-                           self._apply(name, op, f_hi, g_hi))
-        self._apply_memo[key] = result
-        return result
+            return result
+        stack: List[Tuple[int, int]] = [(f, g)]
+        while stack:
+            a, b = stack[-1]
+            key = (name, a, b)
+            if key in memo:
+                stack.pop()
+                continue
+            level_a, level_b = nodes[a][0], nodes[b][0]
+            if a <= self.TRUE:
+                top = level_b
+            elif b <= self.TRUE:
+                top = level_a
+            else:
+                top = min(level_a, level_b)
+            a_lo, a_hi = (a, a) if a <= self.TRUE or level_a != top else \
+                (nodes[a][1], nodes[a][2])
+            b_lo, b_hi = (b, b) if b <= self.TRUE or level_b != top else \
+                (nodes[b][1], nodes[b][2])
+            lo = resolve(a_lo, b_lo)
+            hi = resolve(a_hi, b_hi)
+            if lo is None:
+                stack.append((a_lo, b_lo))
+            if hi is None:
+                stack.append((a_hi, b_hi))
+            if lo is not None and hi is not None:
+                self.apply_misses += 1
+                _budget_tick("bdd.apply")
+                memo[key] = self.node(top, lo, hi)
+                stack.pop()
+        return memo[(name, f, g)]
 
     def and_(self, f: int, g: int) -> int:
         """Conjunction."""
@@ -276,7 +322,8 @@ class Bdd:
     def restrict(self, f: int, assignment: Dict[int, bool]) -> int:
         """Substitute constants for the given variables."""
         frozen = tuple(sorted(assignment.items()))
-        return self._restrict(f, frozen, dict(assignment))
+        with deep_recursion():
+            return self._restrict(f, frozen, dict(assignment))
 
     def _restrict(self, f: int, frozen: Tuple[Tuple[int, bool], ...],
                   assignment: Dict[int, bool]) -> int:
@@ -288,6 +335,7 @@ class Bdd:
             self.restrict_hits += 1
             return cached
         self.restrict_misses += 1
+        _budget_tick("bdd.restrict")
         level, lo, hi = self._nodes[f]
         if level in assignment:
             result = self._restrict(hi if assignment[level] else lo,
@@ -304,14 +352,16 @@ class Bdd:
         level_set = frozenset(levels)
         if not level_set:
             return f
-        return self._quantify(f, level_set, disjunction=True)
+        with deep_recursion():
+            return self._quantify(f, level_set, disjunction=True)
 
     def forall(self, f: int, levels: Iterable[int]) -> int:
         """Universally quantify the given variables."""
         level_set = frozenset(levels)
         if not level_set:
             return f
-        return self._quantify(f, level_set, disjunction=False)
+        with deep_recursion():
+            return self._quantify(f, level_set, disjunction=False)
 
     def _quantify(self, f: int, levels: frozenset, disjunction: bool) -> int:
         if self.is_terminal(f):
@@ -322,6 +372,7 @@ class Bdd:
             self.quant_hits += 1
             return cached
         self.quant_misses += 1
+        _budget_tick("bdd.quantify")
         level, lo, hi = self._nodes[f]
         q_lo = self._quantify(lo, levels, disjunction)
         q_hi = self._quantify(hi, levels, disjunction)
@@ -417,7 +468,8 @@ class Bdd:
             memo[g] = (total, level)
             return total, level
 
-        total, top = count(f)
+        with deep_recursion():
+            total, top = count(f)
         return total << top
 
     def any_sat(self, f: int) -> Optional[Dict[int, bool]]:

@@ -4,8 +4,11 @@ Usage::
 
     repro-verify verify FILE.pas [--verbose] [--no-simulate]
                                  [--profile] [--trace] [--json]
-                                 [--no-reduce]
+                                 [--no-reduce] [--timeout S]
+                                 [--max-bdd-nodes N] [--max-states N]
+                                 [--max-steps N]
     repro-verify table  [NAME ...] [--json] [--no-reduce]
+                                   [--keep-going] [budget flags]
     repro-verify lint   FILE.pas [...] [--json] [--strict]
     repro-verify show   NAME            # print a bundled example program
     repro-verify list                   # list the bundled programs
@@ -19,27 +22,46 @@ environment variable, which acts like ``--trace``):
   products, projections, minimisations) for ``--json``;
 * ``--json`` — emit the machine-readable run report instead of text.
 
-``verify`` exits 0 when the program verifies, 1 when it fails, 2 on
-usage or front-end errors.  ``lint`` exits 0 when no diagnostics (or
-only warnings, without ``--strict``) were produced, 1 on
-error-severity diagnostics (or any, with ``--strict``).  ``--no-reduce``
-disables the cone-of-influence track reduction
-(:mod:`repro.analysis.coi`) — an escape hatch and A/B switch; results
-are identical either way.
+Resource budgets (``--timeout``, ``--max-bdd-nodes``, ``--max-states``,
+``--max-steps``) bound the decision procedure; a subgoal that trips a
+limit degrades to a structured TIMEOUT/BUDGET_EXCEEDED outcome instead
+of hanging (see ``docs/ARCHITECTURE.md`` §9).
+
+Exit codes (``verify`` and ``table``): 0 verified, 1 failed with a
+counterexample, 2 usage or front-end error, 3 degraded (a budget limit
+tripped or an internal error was isolated), 130 interrupted by Ctrl-C
+(with ``--json`` the partial report is still flushed).  ``lint`` exits
+0 when no diagnostics (or only warnings, without ``--strict``) were
+produced, 1 otherwise.  ``--no-reduce`` disables the cone-of-influence
+track reduction (:mod:`repro.analysis.coi`) — an escape hatch and A/B
+switch; results are identical either way.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.obs import trace as obs_trace
 from repro.programs import ALL_PROGRAMS, TABLE_PROGRAMS
-from repro.verify import verify_source
+from repro.robust import faults
+from repro.robust.budget import BudgetExceeded
+from repro.verify import Outcome, VerificationResult, verify_source
 from repro.verify.report import (format_json, format_result,
                                  format_table, format_timing_tree)
+
+_EXIT_CODES_HELP = """\
+exit codes:
+  0    verified — every subgoal decided valid
+  1    failed — some subgoal has a counterexample
+  2    usage or front-end error (parse, type, annotation)
+  3    degraded — a budget limit tripped (TIMEOUT/BUDGET_EXCEEDED)
+       or an internal error was isolated to a subgoal (ERROR)
+  130  interrupted (Ctrl-C); with --json the partial report is
+       still flushed
+"""
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -51,7 +73,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     verify_cmd = commands.add_parser(
-        "verify", help="verify an annotated Pascal program")
+        "verify", help="verify an annotated Pascal program",
+        epilog=_EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     verify_cmd.add_argument("file", help="path to the .pas source, or a "
                                          "bundled program name")
     verify_cmd.add_argument("--verbose", action="store_true",
@@ -71,9 +95,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify_cmd.add_argument("--no-reduce", action="store_true",
                             help="keep every variable track (disable "
                                  "the cone-of-influence reduction)")
+    _add_budget_flags(verify_cmd)
 
     table_cmd = commands.add_parser(
-        "table", help="regenerate the paper's statistics table")
+        "table", help="regenerate the paper's statistics table",
+        epilog=_EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     table_cmd.add_argument("names", nargs="*",
                            help="program subset (default: the paper's "
                                 "six table programs)")
@@ -83,6 +110,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     table_cmd.add_argument("--no-reduce", action="store_true",
                            help="keep every variable track (disable "
                                 "the cone-of-influence reduction)")
+    table_cmd.add_argument("--keep-going", action="store_true",
+                           help="record a front-end error as an ERROR "
+                                "row and continue with the remaining "
+                                "programs instead of aborting")
+    _add_budget_flags(table_cmd)
 
     lint_cmd = commands.add_parser(
         "lint", help="run the static pointer lints over programs")
@@ -114,10 +146,73 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     args = parser.parse_args(argv)
     try:
+        faults.install_from_env()
+    except faults.FaultSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
         return _dispatch(args)
+    except BudgetExceeded as exc:
+        # A budget trip outside the engine's retry ladder (e.g. in
+        # `synth`) is still a structured degradation, not an error.
+        print(f"budget exceeded: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+
+
+def _add_budget_flags(command: argparse.ArgumentParser) -> None:
+    """The resource-budget flags shared by verify and table."""
+    command.add_argument("--timeout", type=float, metavar="SECONDS",
+                         help="wall-clock budget for the whole run; "
+                              "subgoals past the deadline degrade to "
+                              "TIMEOUT instead of hanging")
+    command.add_argument("--max-bdd-nodes", type=int, metavar="N",
+                         help="cap on BDD nodes per decision attempt "
+                              "(trips BUDGET_EXCEEDED)")
+    command.add_argument("--max-states", type=int, metavar="N",
+                         help="cap on any single automaton's states "
+                              "(trips BUDGET_EXCEEDED)")
+    command.add_argument("--max-steps", type=int, metavar="N",
+                         help="deterministic fuel: cap on cooperative "
+                              "work steps (trips BUDGET_EXCEEDED)")
+
+
+def _budget_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    return {"timeout": args.timeout,
+            "max_bdd_nodes": args.max_bdd_nodes,
+            "max_states": args.max_states,
+            "max_steps": args.max_steps}
+
+
+def _exit_code(result: VerificationResult) -> int:
+    """Map one run's outcome to the documented exit code."""
+    outcome = result.outcome
+    if outcome is Outcome.VERIFIED:
+        return 0
+    if outcome is Outcome.FAILED:
+        return 1
+    if outcome is Outcome.INTERRUPTED:
+        return 130
+    return 3
+
+
+def _combined_exit_code(results: List[VerificationResult],
+                        interrupted: bool) -> int:
+    """Table exit code: interrupt dominates, then a genuine failure,
+    then any degradation, then success."""
+    codes = {_exit_code(result) for result in results}
+    if interrupted or 130 in codes:
+        return 130
+    if 1 in codes:
+        return 1
+    if 3 in codes:
+        return 3
+    return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -129,19 +224,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(ALL_PROGRAMS[args.name], end="")
         return 0
     if args.command == "table":
-        names = args.names or list(TABLE_PROGRAMS)
-        results = []
-        for name in names:
-            source = _load(name)
-            results.append(verify_source(source,
-                                         reduce=not args.no_reduce))
-        if args.json:
-            import json as _json
-            print(_json.dumps([result.to_dict() for result in results],
-                              indent=2))
-        else:
-            print(format_table(results))
-        return 0 if all(result.valid for result in results) else 1
+        return _table(args)
     if args.command == "lint":
         return _lint(args.files, as_json=args.json, strict=args.strict)
     if args.command == "verify":
@@ -149,7 +232,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         tracer = _make_tracer(args)
         result = verify_source(source, simulate=not args.no_simulate,
                                reduce=not args.no_reduce,
-                               tracer=tracer)
+                               tracer=tracer, **_budget_kwargs(args))
         if args.json:
             print(format_json(result))
         else:
@@ -157,10 +240,44 @@ def _dispatch(args: argparse.Namespace) -> int:
             if tracer is not None:
                 print()
                 print(format_timing_tree(result))
-        return 0 if result.valid else 1
+        return _exit_code(result)
     if args.command == "synth":
         return _synthesize(args.formula, args.program)
     raise AssertionError(f"unhandled command {args.command}")
+
+
+def _table(args: argparse.Namespace) -> int:
+    """Verify the table corpus; always flush the (possibly partial)
+    report, even when interrupted mid-corpus."""
+    names = args.names or list(TABLE_PROGRAMS)
+    results: List[VerificationResult] = []
+    interrupted = False
+    for name in names:
+        try:
+            source = _load(name)
+            result = verify_source(source, reduce=not args.no_reduce,
+                                   **_budget_kwargs(args))
+        except KeyboardInterrupt:
+            interrupted = True
+            break
+        except (ReproError, OSError) as exc:
+            if not args.keep_going:
+                raise
+            result = VerificationResult(program=name, error=str(exc))
+        results.append(result)
+        if result.interrupted:
+            interrupted = True
+            break
+    if args.json:
+        import json as _json
+        print(_json.dumps([result.to_dict() for result in results],
+                          indent=2))
+    else:
+        print(format_table(results))
+        if interrupted:
+            print(f"interrupted after {len(results)} of {len(names)} "
+                  f"programs", file=sys.stderr)
+    return _combined_exit_code(results, interrupted)
 
 
 def _lint(files: List[str], as_json: bool, strict: bool) -> int:

@@ -21,7 +21,9 @@ class ParseError(ReproError):
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
-        if line:
+        # A position with line 0 but a real column (a lexer error on a
+        # synthetic first line) still deserves its prefix.
+        if line or column:
             message = f"{line}:{column}: {message}"
         super().__init__(message)
         self.line = line

@@ -32,6 +32,10 @@ from repro.mso import ast
 from repro.errors import TranslationError
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import current_metrics
+from repro.robust import faults
+from repro.robust.budget import check_states as _budget_check_states
+from repro.robust.budget import current_budget
+from repro.robust.budget import tick as _budget_tick
 
 
 @dataclass
@@ -175,6 +179,8 @@ class Compiler:
         so the resulting language contains exactly the well-encoded
         (string, assignment) pairs satisfying the formula.
         """
+        faults.fire("mso.compile")
+        current_budget().check_time("mso.compile")
         with obs_trace.span("mso.compile") as sp:
             self._check_no_rebinding(formula)
             result = self._compile(formula)
@@ -215,6 +221,7 @@ class Compiler:
         if cached is not None:
             self.stats.formula_memo_hits += 1
             return cached
+        _budget_tick("mso.compile")
         result = self._compile_uncached(formula)
         result = self._minimize(result)
         self.stats.record(result)
@@ -328,6 +335,7 @@ class Compiler:
         self.stats.products += 1
         result = left.product(right, accept)
         self.stats.record(result)
+        _budget_check_states("mso.compile", result.num_states)
         metrics = current_metrics()
         if metrics.enabled:
             metrics.histogram("mso.product.states").observe(
@@ -342,6 +350,7 @@ class Compiler:
         self.stats.projections += 1
         result = dfa.project(track).determinize()
         self.stats.record(result)
+        _budget_check_states("mso.compile", result.num_states)
         metrics = current_metrics()
         if metrics.enabled:
             metrics.histogram("mso.project.states").observe(

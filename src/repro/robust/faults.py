@@ -1,0 +1,183 @@
+"""Deterministic fault injection at named pipeline sites.
+
+The degradation machinery (per-subgoal isolation, the retry ladder,
+structured outcomes) is exactly the code that never runs on healthy
+inputs, so it needs a way to be *made* to run: a fault plan names a
+pipeline site and an exception kind, and the site's
+:func:`fire` call raises that exception when the pipeline reaches it.
+
+Plans come from the ``REPRO_FAULTS`` environment variable (the CLI
+installs it on startup) or from the :func:`injected` context manager
+(tests).  The spec grammar is a comma-separated list of rules::
+
+    site:kind[:count]
+
+where ``site`` is one of :data:`FAULT_SITES`, ``kind`` one of
+:data:`FAULT_KINDS`, and the optional ``count`` limits how many times
+the rule fires (default: every time the site is reached).  Examples::
+
+    REPRO_FAULTS="mso.compile:memory"          # every compilation OOMs
+    REPRO_FAULTS="verify.decide:budget:1"      # first attempt only
+    REPRO_FAULTS="automata.product:error,exec.symbolic:timeout"
+
+Kinds:
+
+* ``budget`` — :class:`~repro.robust.budget.BudgetExceeded` with
+  limit ``injected`` (degrades to a ``BUDGET_EXCEEDED`` outcome);
+* ``timeout`` — :class:`BudgetExceeded` with limit ``deadline``
+  (degrades to a ``TIMEOUT`` outcome, no retry);
+* ``memory`` — :class:`MemoryError`;
+* ``error`` — a plain :class:`RuntimeError` (an "impossible" internal
+  failure);
+* ``recursion`` — :class:`RecursionError`;
+* ``interrupt`` — :class:`KeyboardInterrupt` (exercises the CLI's
+  partial-report flush and exit code 130).
+
+When no plan is installed, :func:`fire` is a single global read.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.robust.budget import (LIMIT_DEADLINE, LIMIT_INJECTED,
+                                 BudgetExceeded)
+
+#: Every named injection point, in pipeline order.  Each name has a
+#: matching ``fire(...)`` call in the module it names.
+FAULT_SITES = (
+    "verify.decide",          # repro.verify.engine — one per attempt
+    "exec.symbolic",          # repro.symbolic.exec — statement lists
+    "mso.compile",            # repro.mso.compile — formula -> DFA
+    "automata.product",       # repro.automata.symbolic
+    "automata.determinize",   # repro.automata.symbolic
+    "automata.minimize",      # repro.automata.symbolic
+    "verify.counterexample",  # repro.verify.engine — decode/simulate
+)
+
+#: Exception kinds a rule may raise.
+FAULT_KINDS = ("budget", "timeout", "memory", "error", "recursion",
+               "interrupt")
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` spec string is malformed."""
+
+
+class _Rule:
+    __slots__ = ("site", "kind", "remaining")
+
+    def __init__(self, site: str, kind: str,
+                 count: Optional[int]) -> None:
+        self.site = site
+        self.kind = kind
+        self.remaining = count  # None = unlimited
+
+    def raise_fault(self) -> None:
+        if self.kind == "budget":
+            raise BudgetExceeded(LIMIT_INJECTED, self.site, 0, 0)
+        if self.kind == "timeout":
+            raise BudgetExceeded(LIMIT_DEADLINE, self.site, 0, 0)
+        if self.kind == "memory":
+            raise MemoryError(f"injected out-of-memory at {self.site}")
+        if self.kind == "recursion":
+            raise RecursionError(f"injected recursion blowup at "
+                                 f"{self.site}")
+        if self.kind == "interrupt":
+            raise KeyboardInterrupt
+        raise RuntimeError(f"injected fault at {self.site}")
+
+
+class FaultPlan:
+    """A set of rules, indexed by site."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, List[_Rule]] = {}
+
+    def add(self, site: str, kind: str,
+            count: Optional[int] = None) -> "FaultPlan":
+        """Register one rule; returns self for chaining."""
+        if site not in FAULT_SITES:
+            raise FaultSpecError(
+                f"unknown fault site {site!r}; expected one of "
+                f"{', '.join(FAULT_SITES)}")
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}")
+        self._rules.setdefault(site, []).append(_Rule(site, kind, count))
+        return self
+
+    def fire(self, site: str) -> None:
+        """Raise the configured fault if a live rule matches ``site``."""
+        rules = self._rules.get(site)
+        if not rules:
+            return
+        for rule in rules:
+            if rule.remaining is None:
+                rule.raise_fault()
+            if rule.remaining > 0:
+                rule.remaining -= 1
+                rule.raise_fault()
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a ``site:kind[:count]`` comma-list into a plan."""
+    plan = FaultPlan()
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) == 2:
+            site, kind = parts
+            count: Optional[int] = None
+        elif len(parts) == 3:
+            site, kind, count_text = parts
+            try:
+                count = int(count_text)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad fault count in {chunk!r}") from None
+        else:
+            raise FaultSpecError(
+                f"bad fault rule {chunk!r}; expected site:kind[:count]")
+        plan.add(site.strip(), kind.strip(), count)
+    return plan
+
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install a plan process-wide (None clears)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def install_from_env(environ: Optional[Dict[str, str]] = None) -> None:
+    """Install the plan described by ``REPRO_FAULTS``, or clear it."""
+    env = os.environ if environ is None else environ
+    spec = env.get("REPRO_FAULTS", "")
+    install(parse_plan(spec) if spec.strip() else None)
+
+
+@contextmanager
+def injected(spec: Union[str, FaultPlan]) -> Iterator[FaultPlan]:
+    """Install a plan for the duration (test fixture entry point)."""
+    plan = parse_plan(spec) if isinstance(spec, str) else spec
+    global _PLAN
+    previous = _PLAN
+    _PLAN = plan
+    try:
+        yield plan
+    finally:
+        _PLAN = previous
+
+
+def fire(site: str) -> None:
+    """The per-site hook; a no-op unless a plan names ``site``."""
+    if _PLAN is not None:
+        _PLAN.fire(site)

@@ -1,0 +1,45 @@
+"""Guarding deep BDD recursions against Python's recursion limit.
+
+A BDD over a long variable chain recurses once per level; with the
+default interpreter limit of 1000 a few thousand levels kill the
+operation with a :class:`RecursionError` half-way through a
+verification.  Two defences, used by :mod:`repro.bdd.robdd`:
+
+* the hottest recursion (binary ``apply``) is converted to an
+  explicit work stack and cannot overflow at all;
+* the remaining structurally-deep recursions (quantification,
+  restriction, counting) run under :func:`deep_recursion`, which
+  raises the interpreter limit for the duration and restores it on
+  the way out.
+
+MTBDD operations (:mod:`repro.bdd.mtbdd`) need neither: their
+recursion depth is bounded by the number of automaton *tracks*, which
+is small by construction (one per store label and live variable).
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Default raised limit: enough for BDDs hundreds of times deeper than
+#: any track layout produces, while staying well inside the C stack on
+#: every platform CI runs (each frame of the guarded recursions is
+#: small and non-generator).
+DEEP_RECURSION_LIMIT = 50_000
+
+
+@contextmanager
+def deep_recursion(minimum: int = DEEP_RECURSION_LIMIT) -> Iterator[None]:
+    """Raise the recursion limit to at least ``minimum``, restoring on
+    exit.  Nests safely; a no-op when the limit is already high enough."""
+    previous = sys.getrecursionlimit()
+    if previous >= minimum:
+        yield
+        return
+    sys.setrecursionlimit(minimum)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

@@ -30,6 +30,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import VerificationError
 from repro.mso.ast import FALSE, Formula, Var
+from repro.robust import faults
+from repro.robust.budget import tick as _budget_tick
 from repro.mso.build import FormulaBuilder as F
 from repro.pascal.typed import (FieldLhs, TAnd, TAssertStmt, TAssign,
                                 TDispose, TIf, TNew, TNot, TOr, TPath,
@@ -55,9 +57,11 @@ def exec_statements(store: SymbolicStore,
     Raises VerificationError on ``while`` loops or cut-point
     assertions — the verification engine must split those out first.
     """
+    faults.fire("exec.symbolic")
     error: Formula = FALSE
     oom: Formula = FALSE
     for statement in statements:
+        _budget_tick("exec.symbolic")
         outcome = _exec_one(store, statement)
         store = outcome.store
         error = F.or_(error, outcome.error)

@@ -6,7 +6,7 @@ assertion), decides each one completely via the M2L pipeline, and
 extracts shortest-store counterexamples for failures.
 """
 
-from repro.verify.engine import (Subgoal, SubgoalResult,
+from repro.verify.engine import (Outcome, Subgoal, SubgoalResult,
                                  VerificationResult, Verifier,
                                  verify_program, verify_source)
 from repro.verify.counterexample import Counterexample
@@ -14,7 +14,7 @@ from repro.verify.report import format_result, format_table_row
 from repro.verify.wp import (WpResult, triple_is_valid_by_inclusion,
                              wp_automaton)
 
-__all__ = ["Counterexample", "Subgoal", "SubgoalResult",
+__all__ = ["Counterexample", "Outcome", "Subgoal", "SubgoalResult",
            "VerificationResult", "Verifier", "WpResult",
            "format_result", "format_table_row",
            "triple_is_valid_by_inclusion", "verify_program",

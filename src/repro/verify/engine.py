@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import (Callable, Dict, FrozenSet, List, Optional, Sequence,
                     Tuple)
 
@@ -47,12 +48,70 @@ from repro.stores.model import Store
 from repro.storelogic.translate import translate_formula
 from repro.obs import trace as obs_trace
 from repro.obs.trace import Span
+from repro.robust import budget as robust_budget
+from repro.robust import faults
+from repro.robust.budget import Budget, BudgetExceeded
 from repro.symbolic.exec import eval_guard, exec_statements
 from repro.symbolic.layout import TrackLayout
 from repro.symbolic.state import SymbolicStore, initial_store
 from repro.symbolic.wf import wf_graph, wf_string
 from repro.exec.interpreter import Interpreter, Trace
 from repro.verify.counterexample import Counterexample, explain_failure
+
+
+class Outcome(Enum):
+    """How one subgoal (or a whole run) ended.
+
+    ``VERIFIED`` / ``FAILED`` are verdicts; the remaining members are
+    *degraded* outcomes — the decision procedure did not finish, but
+    the run carried on and recorded why:
+
+    * ``TIMEOUT`` — the wall-clock deadline passed;
+    * ``BUDGET_EXCEEDED`` — a node/state/step cap (or an injected
+      budget fault) tripped on every attempt;
+    * ``ERROR`` — an internal exception survived the retry ladder;
+    * ``INTERRUPTED`` — the run stopped on Ctrl-C with subgoals still
+      undecided (whole-run aggregate only).
+    """
+
+    VERIFIED = "VERIFIED"
+    FAILED = "FAILED"
+    TIMEOUT = "TIMEOUT"
+    BUDGET_EXCEEDED = "BUDGET_EXCEEDED"
+    ERROR = "ERROR"
+    INTERRUPTED = "INTERRUPTED"
+
+    @property
+    def decided(self) -> bool:
+        """True for real verdicts, False for degraded outcomes."""
+        return self in (Outcome.VERIFIED, Outcome.FAILED)
+
+
+#: Aggregation order: the *worst* subgoal outcome names the run.
+_OUTCOME_SEVERITY = {
+    Outcome.VERIFIED: 0,
+    Outcome.TIMEOUT: 1,
+    Outcome.BUDGET_EXCEEDED: 2,
+    Outcome.INTERRUPTED: 3,
+    Outcome.ERROR: 4,
+    Outcome.FAILED: 5,
+}
+
+
+def _outcome_of_exception(exc: BaseException) -> Outcome:
+    if isinstance(exc, BudgetExceeded):
+        if exc.limit == robust_budget.LIMIT_DEADLINE:
+            return Outcome.TIMEOUT
+        return Outcome.BUDGET_EXCEEDED
+    return Outcome.ERROR
+
+
+def _describe_exception(exc: BaseException) -> str:
+    if isinstance(exc, BudgetExceeded):
+        return str(exc)
+    message = str(exc)
+    name = type(exc).__name__
+    return f"{name}: {message}" if message else name
 
 
 @dataclass
@@ -96,6 +155,17 @@ class SubgoalResult:
     #: cone-of-influence reduction (equal when reduction is off).
     tracks_before: int = 0
     tracks_after: int = 0
+    #: How the decision ended: a verdict (``VERIFIED``/``FAILED``) or
+    #: a degraded outcome (``TIMEOUT``/``BUDGET_EXCEEDED``/``ERROR``).
+    outcome: Outcome = Outcome.VERIFIED
+    #: Human-readable cause for degraded outcomes, else None.
+    error: Optional[str] = None
+    #: Decision attempts made (2 when the retry ladder toggled the
+    #: cone-of-influence reduction).
+    attempts: int = 1
+    #: Budget consumption of this subgoal (steps/seconds/tripped),
+    #: None when no budget was active.
+    budget: Optional[Dict[str, object]] = None
 
     @property
     def description(self) -> str:
@@ -113,6 +183,10 @@ class SubgoalResult:
         return {
             "description": self.description,
             "valid": self.valid,
+            "outcome": self.outcome.value,
+            "error": self.error,
+            "attempts": self.attempts,
+            "budget": self.budget,
             "seconds": self.seconds,
             "formula_size": self.formula_size,
             "tracks_before": self.tracks_before,
@@ -129,11 +203,39 @@ class VerificationResult:
 
     program: str
     results: List[SubgoalResult] = field(default_factory=list)
+    #: Front-end failure before any subgoal could be decided (only set
+    #: by degraded drivers such as ``repro table --keep-going``).
+    error: Optional[str] = None
+    #: True when the run stopped early on KeyboardInterrupt; the
+    #: recorded results are the subgoals decided before the interrupt.
+    interrupted: bool = False
+    #: The budget limits the run was configured with, None when
+    #: unlimited.
+    budget: Optional[Dict[str, object]] = None
 
     @property
     def valid(self) -> bool:
-        """True iff every subgoal was decided valid."""
+        """True iff every subgoal was decided valid (an interrupted or
+        errored run is never valid — its verdict is unknown)."""
+        if self.error is not None or self.interrupted:
+            return False
         return all(result.valid for result in self.results)
+
+    @property
+    def outcome(self) -> Outcome:
+        """The worst outcome across subgoals (``FAILED`` dominates,
+        then ``ERROR``, ``INTERRUPTED``, ``BUDGET_EXCEEDED``,
+        ``TIMEOUT``)."""
+        worst = Outcome.VERIFIED
+        if self.error is not None:
+            worst = Outcome.ERROR
+        elif self.interrupted:
+            worst = Outcome.INTERRUPTED
+        for result in self.results:
+            if _OUTCOME_SEVERITY[result.outcome] > \
+                    _OUTCOME_SEVERITY[worst]:
+                worst = result.outcome
+        return worst
 
     @property
     def counterexample(self) -> Optional[Counterexample]:
@@ -186,16 +288,23 @@ class VerificationResult:
         """A schema-stable, JSON-ready document of the whole run.
 
         Top-level keys: ``schema_version``, ``program``, ``valid``,
+        ``outcome``, ``error``, ``interrupted``, ``budget``,
         ``seconds``, ``formula_size``, ``max_states``, ``max_nodes``,
         ``stats`` (merged), ``subgoals`` (each with ``description``,
-        ``valid``, ``seconds``, ``formula_size``, ``stats``, ``span``,
-        ``counterexample``).  New keys may be added; existing keys
-        keep their meaning.
+        ``valid``, ``outcome``, ``error``, ``attempts``, ``budget``,
+        ``seconds``, ``formula_size``, ``stats``, ``span``,
+        ``counterexample``).  Schema version 2 added the outcome and
+        budget keys; new keys may be added, existing keys keep their
+        meaning.
         """
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "program": self.program,
             "valid": self.valid,
+            "outcome": self.outcome.value,
+            "error": self.error,
+            "interrupted": self.interrupted,
+            "budget": self.budget,
             "seconds": self.seconds,
             "formula_size": self.formula_size,
             "max_states": self.max_states,
@@ -235,6 +344,15 @@ class Verifier:
         tracer: record phase spans into this tracer for the duration
             of :meth:`verify` (None leaves the process's active tracer
             in charge — usually the no-op sink).
+        timeout: wall-clock budget in seconds for the whole run; the
+            deadline is absolute, so once it passes every remaining
+            subgoal degrades to a ``TIMEOUT`` outcome quickly.
+        max_bdd_nodes: cap on each attempt's BDD-manager node count.
+        max_states: cap on any single automaton's state count.
+        max_steps: deterministic fuel cap on cooperative steps.
+        retry_alternate: when a subgoal trips a (non-deadline) budget
+            limit or raises, retry it once with the cone-of-influence
+            reduction toggled before recording a degraded outcome.
     """
 
     def __init__(self, program: TypedProgram,
@@ -242,13 +360,24 @@ class Verifier:
                  simulate: bool = True,
                  stop_at_first_failure: bool = False,
                  reduce: bool = True,
-                 tracer: Optional[obs_trace.Tracer] = None) -> None:
+                 tracer: Optional[obs_trace.Tracer] = None,
+                 timeout: Optional[float] = None,
+                 max_bdd_nodes: Optional[int] = None,
+                 max_states: Optional[int] = None,
+                 max_steps: Optional[int] = None,
+                 retry_alternate: bool = True) -> None:
         self.program = program
         self.minimize_during = minimize_during
         self.simulate = simulate
         self.reduce = reduce
         self.stop_at_first_failure = stop_at_first_failure
         self.tracer = tracer
+        self.timeout = timeout
+        self.max_bdd_nodes = max_bdd_nodes
+        self.max_states = max_states
+        self.max_steps = max_steps
+        self.retry_alternate = retry_alternate
+        self._budget: Optional[Budget] = None
         # One concrete interpreter serves every obligation and
         # counterexample simulation; it is stateless between runs.
         self._interpreter = Interpreter(program)
@@ -261,30 +390,61 @@ class Verifier:
 
     def verify(self) -> VerificationResult:
         """Collect and decide every subgoal."""
-        if self.tracer is not None:
-            with obs_trace.activate(self.tracer):
+        if any(limit is not None for limit in
+               (self.timeout, self.max_bdd_nodes, self.max_states,
+                self.max_steps)):
+            self._budget = Budget(timeout=self.timeout,
+                                  max_bdd_nodes=self.max_bdd_nodes,
+                                  max_states=self.max_states,
+                                  max_steps=self.max_steps)
+        else:
+            self._budget = None
+        try:
+            if self.tracer is not None:
+                with obs_trace.activate(self.tracer):
+                    return self._run_budgeted()
+            return self._run_budgeted()
+        finally:
+            self._budget = None
+
+    def _run_budgeted(self) -> VerificationResult:
+        if self._budget is not None:
+            with robust_budget.activate(self._budget):
                 return self._verify()
         return self._verify()
 
     def _verify(self) -> VerificationResult:
         result = VerificationResult(self.program.name)
+        if self._budget is not None:
+            result.budget = self._budget.limits()
         with obs_trace.span("verify", program=self.program.name):
             with obs_trace.span("subgoals.split") as sp:
                 subgoals = self.collect_subgoals()
                 if sp:
                     sp.annotate(subgoals=len(subgoals))
+            metrics = current_metrics()
             for subgoal in subgoals:
-                result.results.append(self.decide(subgoal))
-                if self.stop_at_first_failure and \
-                        not result.results[-1].valid:
+                try:
+                    decided = self.decide(subgoal)
+                except KeyboardInterrupt:
+                    # Ctrl-C: keep what was decided so far; the caller
+                    # can still emit a partial structured report.
+                    result.interrupted = True
+                    break
+                result.results.append(decided)
+                metrics.counter(
+                    f"verify.outcome.{decided.outcome.value}").inc()
+                if self.stop_at_first_failure and not decided.valid:
                     break
             # Gauges mirror the JSON report: the max over subgoals,
             # not whichever subgoal happened to be decided last.
-            metrics = current_metrics()
             metrics.gauge("verify.tracks_before").set(
                 result.tracks_before)
             metrics.gauge("verify.tracks_after").set(
                 result.tracks_after)
+            if self._budget is not None:
+                metrics.gauge("verify.budget.steps").set(
+                    self._budget.steps)
         return result
 
     # ------------------------------------------------------------------
@@ -412,11 +572,12 @@ class Verifier:
     # Deciding one subgoal
     # ------------------------------------------------------------------
 
-    def _subgoal_layout(self, subgoal: Subgoal) -> TrackLayout:
+    def _subgoal_layout(self, subgoal: Subgoal,
+                        reduce: bool) -> TrackLayout:
         """The track layout for one subgoal: the full alphabet, or the
         cone-of-influence subset when reduction is on."""
         schema = self.program.schema
-        if not self.reduce:
+        if not reduce:
             return TrackLayout(schema)
         # Assume obligations are evaluated on the initial store, so
         # their variables must keep their tracks no matter what the
@@ -433,13 +594,82 @@ class Verifier:
         return TrackLayout(schema, variables=keep)
 
     def decide(self, subgoal: Subgoal) -> SubgoalResult:
-        """Decide one loop-free triple completely."""
+        """Decide one subgoal under the degradation ladder.
+
+        The first attempt runs with the configured cone-of-influence
+        setting; when it trips a budget cap or raises, the subgoal is
+        retried once with the reduction toggled (``retry_alternate``).
+        A passed wall-clock deadline skips the retry — the second
+        attempt could only time out again.  A subgoal that no attempt
+        could decide is recorded with a degraded :class:`Outcome`
+        instead of aborting the run.
+        """
+        budget = self._budget
+        steps_before = budget.steps if budget is not None else 0
+        started = time.perf_counter()
+        plans = [self.reduce]
+        if self.retry_alternate:
+            plans.append(not self.reduce)
+        last_exc: Optional[BaseException] = None
+        attempts = 0
+        for reduce_flag in plans:
+            attempts += 1
+            try:
+                faults.fire("verify.decide")
+                result = self._decide_attempt(subgoal, reduce_flag)
+            except KeyboardInterrupt:
+                raise
+            except BudgetExceeded as exc:
+                last_exc = exc
+                if exc.limit == robust_budget.LIMIT_DEADLINE:
+                    break
+                continue
+            except Exception as exc:  # noqa: BLE001 — isolation is
+                # the point: MemoryError/RecursionError included, any
+                # attempt failure degrades instead of killing the run.
+                last_exc = exc
+                continue
+            result.outcome = (Outcome.VERIFIED if result.valid
+                              else Outcome.FAILED)
+            result.attempts = attempts
+            if budget is not None:
+                result.budget = {
+                    "steps": budget.steps - steps_before,
+                    "seconds": result.seconds,
+                    "tripped": None,
+                }
+            return result
+        elapsed = time.perf_counter() - started
+        assert last_exc is not None
+        outcome = _outcome_of_exception(last_exc)
+        consumed: Optional[Dict[str, object]] = None
+        if budget is not None:
+            consumed = {
+                "steps": budget.steps - steps_before,
+                "seconds": elapsed,
+                "tripped": ({"limit": last_exc.limit,
+                             "site": last_exc.site}
+                            if isinstance(last_exc, BudgetExceeded)
+                            else None),
+            }
+        return SubgoalResult(subgoal=subgoal, valid=False,
+                             counterexample=None,
+                             stats=CompilationStats(),
+                             formula_size=0, seconds=elapsed,
+                             outcome=outcome,
+                             error=_describe_exception(last_exc),
+                             attempts=attempts, budget=consumed)
+
+    def _decide_attempt(self, subgoal: Subgoal,
+                        reduce: bool) -> SubgoalResult:
+        """Decide one loop-free triple completely (a single ladder
+        attempt; fresh compiler and BDD manager each time)."""
         started = time.perf_counter()
         with obs_trace.span("subgoal",
                             description=subgoal.description) as sub:
             schema = self.program.schema
             compiler = Compiler(minimize_during=self.minimize_during)
-            layout = self._subgoal_layout(subgoal)
+            layout = self._subgoal_layout(subgoal, reduce)
             tracks_before = len(layout.labels) + len(schema.all_vars())
             tracks_after = len(layout.free_vars())
             current_metrics().counter("verify.tracks_dropped").inc(
@@ -503,6 +733,7 @@ class Verifier:
                               layout: TrackLayout, compiler: Compiler,
                               word: Sequence[Dict[int, bool]]
                               ) -> Counterexample:
+        faults.fire("verify.counterexample")
         with obs_trace.span("counterexample.decode") as sp:
             symbols = layout.word_to_symbols(word, compiler.tracks())
             # Variables reduced away carry no track; the reduced

@@ -12,17 +12,28 @@ import json
 from typing import Iterable, List
 
 from repro.obs.trace import Span
-from repro.verify.engine import VerificationResult
+from repro.verify.engine import Outcome, VerificationResult
 
 TABLE_HEADER = (f"{'Program':<12} {'Time (s)':>9} {'Formula':>9} "
                 f"{'States':>7} {'Nodes':>7}  Valid")
+
+
+def _verdict_cell(result: VerificationResult) -> str:
+    """The Valid column: yes/NO for decided runs, the degraded outcome
+    name (TIMEOUT, BUDGET_EXCEEDED, ...) otherwise."""
+    outcome = result.outcome
+    if outcome is Outcome.VERIFIED:
+        return "yes"
+    if outcome is Outcome.FAILED:
+        return "NO"
+    return outcome.value
 
 
 def format_table_row(result: VerificationResult) -> str:
     """One row of the §6-style statistics table."""
     return (f"{result.program:<12} {result.seconds:>9.2f} "
             f"{result.formula_size:>9} {result.max_states:>7} "
-            f"{result.max_nodes:>7}  {'yes' if result.valid else 'NO'}")
+            f"{result.max_nodes:>7}  {_verdict_cell(result)}")
 
 
 def format_table(results: Iterable[VerificationResult]) -> str:
@@ -36,21 +47,37 @@ def format_result(result: VerificationResult,
                   verbose: bool = False) -> str:
     """Full report for one program."""
     lines: List[str] = []
-    verdict = "VERIFIED" if result.valid else "FAILED"
-    lines.append(f"{result.program}: {verdict} "
+    lines.append(f"{result.program}: {result.outcome.value} "
                  f"({len(result.results)} subgoals, "
                  f"{result.seconds:.2f}s, formula size "
                  f"{result.formula_size}, max automaton "
                  f"{result.max_states} states / {result.max_nodes} "
                  f"BDD nodes)")
+    if result.error is not None:
+        lines.append(f"  error: {result.error}")
     for subgoal_result in result.results:
-        mark = "ok " if subgoal_result.valid else "FAIL"
+        outcome = subgoal_result.outcome
+        if outcome is Outcome.VERIFIED:
+            mark = "ok "
+        elif outcome is Outcome.FAILED:
+            mark = "FAIL"
+        else:
+            mark = outcome.value
+        extra = ""
+        if subgoal_result.attempts > 1:
+            extra = f", {subgoal_result.attempts} attempts"
         lines.append(f"  [{mark}] {subgoal_result.description} "
                      f"({subgoal_result.seconds:.2f}s, "
-                     f"{subgoal_result.stats.max_states} states)")
-        if verbose or not subgoal_result.valid:
+                     f"{subgoal_result.stats.max_states} states"
+                     f"{extra})")
+        if subgoal_result.error is not None:
+            lines.append(f"         cause: {subgoal_result.error}")
+        if verbose or outcome is Outcome.FAILED:
             for item in subgoal_result.subgoal.check:
                 lines.append(f"         check: {item.name}")
+    if result.interrupted:
+        lines.append("  interrupted: run stopped early on Ctrl-C; "
+                     "remaining subgoals undecided")
     counterexample = result.counterexample
     if counterexample is not None:
         lines.append("counterexample:")

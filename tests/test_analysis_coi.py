@@ -14,7 +14,7 @@ def subgoal_layouts(name):
     """description -> kept variable names, per subgoal."""
     verifier = Verifier(typed(name))
     return {subgoal.description:
-            verifier._subgoal_layout(subgoal).var_names()
+            verifier._subgoal_layout(subgoal, verifier.reduce).var_names()
             for subgoal in verifier.collect_subgoals()}
 
 
@@ -95,6 +95,6 @@ class TestVerifierLayouts:
     def test_no_reduce_keeps_everything(self):
         verifier = Verifier(typed("reverse"), reduce=False)
         for subgoal in verifier.collect_subgoals():
-            layout = verifier._subgoal_layout(subgoal)
+            layout = verifier._subgoal_layout(subgoal, reduce=False)
             assert layout.var_names() == ["x", "y", "p"]
             assert layout.dropped_vars() == []

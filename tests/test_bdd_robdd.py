@@ -231,3 +231,36 @@ def test_forall_is_conjunction_of_cofactors(expr, level):
     expected = mgr.and_(mgr.restrict(f, {level: False}),
                         mgr.restrict(f, {level: True}))
     assert mgr.forall(f, [level]) == expected
+
+
+class TestDeepChains:
+    """Regression: a BDD chained over thousands of variables must not
+    die with RecursionError — apply and negation are iterative, the
+    remaining walks raise the recursion limit for the call."""
+
+    DEPTH = 6000
+
+    def _chain(self, mgr):
+        """The conjunction x0 & x1 & ... — one node per level."""
+        f = mgr.TRUE
+        for level in reversed(range(self.DEPTH)):
+            f = mgr.and_(mgr.var(level), f)
+        return f
+
+    def test_apply_and_not_survive_deep_chain(self):
+        mgr = Bdd()
+        f = self._chain(mgr)
+        assert mgr.node_count(f) == self.DEPTH
+        g = mgr.not_(f)
+        assert mgr.not_(g) == f
+        assert mgr.and_(f, g) == mgr.FALSE
+        assert mgr.or_(f, g) == mgr.TRUE
+
+    def test_recursive_walks_survive_deep_chain(self):
+        mgr = Bdd()
+        f = self._chain(mgr)
+        assert mgr.sat_count(f, self.DEPTH) == 1
+        assert mgr.restrict(f, {0: True}) == \
+            mgr.exists(f, [0])
+        assert mgr.forall(f, [0]) == mgr.FALSE
+        assert len(mgr.support(f)) == self.DEPTH

@@ -60,9 +60,10 @@ class TestObservabilityFlags:
     def test_json_report(self, capsys):
         assert main(["verify", "searchwf", "--json"]) == 0
         document = json.loads(capsys.readouterr().out)
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         assert document["program"] == "searchwf"
         assert document["valid"] is True
+        assert document["outcome"] == "VERIFIED"
         assert document["stats"]["bdd_apply_hits"] > 0
         assert document["stats"]["bdd_apply_misses"] > 0
         assert document["stats"]["peak_nodes"] > 0
@@ -130,6 +131,57 @@ class TestTable:
     def test_table_reports_failures(self, capsys):
         assert main(["table", "searchwf", "fumble"]) == 1
         assert "NO" in capsys.readouterr().out
+
+
+class TestBudgetFlags:
+    def test_timeout_degrades_to_exit_3(self, capsys):
+        assert main(["verify", "reverse", "--timeout", "0"]) == 3
+        out = capsys.readouterr().out
+        assert "TIMEOUT" in out
+
+    def test_timeout_json_is_structured(self, capsys):
+        assert main(["verify", "reverse", "--timeout", "0",
+                     "--json"]) == 3
+        document = json.loads(capsys.readouterr().out)
+        assert document["outcome"] == "TIMEOUT"
+        assert document["valid"] is False
+        assert document["budget"]["timeout"] == 0.0
+        for subgoal in document["subgoals"]:
+            assert subgoal["outcome"] == "TIMEOUT"
+            assert subgoal["error"]
+
+    def test_max_states_cap_trips_budget(self, capsys):
+        assert main(["verify", "reverse", "--max-states", "2",
+                     "--json"]) == 3
+        document = json.loads(capsys.readouterr().out)
+        assert document["outcome"] == "BUDGET_EXCEEDED"
+        tripped = document["subgoals"][0]["budget"]["tripped"]
+        assert tripped["limit"] == "automaton_states"
+
+    def test_generous_budget_keeps_verdict(self, capsys):
+        assert main(["verify", "searchwf", "--timeout", "600",
+                     "--max-bdd-nodes", "100000000"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_table_timeout_keep_going(self, capsys):
+        assert main(["table", "searchwf", "--timeout", "0",
+                     "--keep-going", "--json"]) == 3
+        documents = json.loads(capsys.readouterr().out)
+        assert documents[0]["outcome"] == "TIMEOUT"
+
+    def test_table_keep_going_records_error_rows(self, capsys):
+        assert main(["table", "searchwf", "/nonexistent/x.pas",
+                     "--keep-going"]) == 3
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "yes" in out
+
+    def test_exit_code_table_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["verify", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "130" in out
 
 
 class TestSynth:

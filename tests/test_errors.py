@@ -29,6 +29,17 @@ class TestHierarchy:
         assert str(error) == "just a message"
         assert error.line == 0
 
+    def test_parse_error_column_only(self):
+        """line=0 with a real column must not drop the position."""
+        error = ParseError("bad char", line=0, column=5)
+        assert "0:5" in str(error)
+        assert error.column == 5
+
+    def test_parse_error_line_only(self):
+        error = ParseError("bad line", line=4)
+        assert "4:0" in str(error)
+        assert error.line == 4
+
 
 class TestPropagation:
     def test_syntax_error_in_program(self):

@@ -1,0 +1,198 @@
+"""Tests for deterministic fault injection (repro.robust.faults).
+
+The matrix test drives every named fault site against a small corpus
+through the real CLI entry point and asserts the cardinal robustness
+property: no raw traceback ever escapes ``main()`` — every failure is
+a structured outcome with a documented exit code.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.robust import faults
+from repro.robust.budget import BudgetExceeded
+from repro.verify import Outcome, verify_source
+
+from util import wrap_program
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """Never leak an installed plan into other tests."""
+    yield
+    faults.install(None)
+
+
+class TestSpecParsing:
+    def test_site_kind(self):
+        plan = faults.parse_plan("mso.compile:memory")
+        with pytest.raises(MemoryError):
+            plan.fire("mso.compile")
+        plan.fire("exec.symbolic")  # other sites untouched
+
+    def test_counted_rule_expires(self):
+        plan = faults.parse_plan("verify.decide:error:2")
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                plan.fire("verify.decide")
+        plan.fire("verify.decide")  # third reach: spent
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_plan("no.such.site:error")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_plan("mso.compile:frobnicate")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_plan("mso.compile:error:soon")
+
+    def test_empty_env_clears_plan(self, monkeypatch):
+        faults.install(faults.parse_plan("mso.compile:error"))
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.install_from_env()
+        faults.fire("mso.compile")  # no plan left: silent
+
+    def test_malformed_env_spec_is_a_usage_error(self, monkeypatch,
+                                                 capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "bogus")
+        assert main(["verify", "searchwf"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_every_kind_raises_expected_type(self):
+        expectations = {
+            "budget": BudgetExceeded,
+            "timeout": BudgetExceeded,
+            "memory": MemoryError,
+            "error": RuntimeError,
+            "recursion": RecursionError,
+            "interrupt": KeyboardInterrupt,
+        }
+        assert set(expectations) == set(faults.FAULT_KINDS)
+        for kind, exc_type in expectations.items():
+            plan = faults.parse_plan(f"mso.compile:{kind}")
+            with pytest.raises(exc_type):
+                plan.fire("mso.compile")
+
+
+from repro.programs import ALL_PROGRAMS
+
+#: Sites that fire on every run.  ``verify.counterexample`` is only
+#: reached when a subgoal fails, so it gets the failing programs.
+_ALWAYS_SITES = tuple(site for site in faults.FAULT_SITES
+                      if site != "verify.counterexample")
+_FAILING_PROGRAMS = ("swap", "fumble")
+
+_MATRIX = ([(site, program) for site in _ALWAYS_SITES
+            for program in sorted(ALL_PROGRAMS)]
+           + [("verify.counterexample", program)
+              for program in _FAILING_PROGRAMS])
+
+
+class TestFaultMatrix:
+    """Every site x the whole corpus: main() returns a documented exit
+    code and, with --json, a parseable structured report — never a
+    traceback."""
+
+    @pytest.mark.parametrize("site,program", _MATRIX)
+    def test_error_fault_yields_structured_outcome(self, site, program,
+                                                   monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", f"{site}:error")
+        code = main(["verify", program, "--json"])
+        assert code in (0, 1, 3), (site, program)
+        document = json.loads(capsys.readouterr().out)
+        assert document["outcome"] in ("VERIFIED", "FAILED", "ERROR")
+        if code == 3:
+            degraded = [s for s in document["subgoals"]
+                        if s["outcome"] == "ERROR"]
+            assert degraded
+            for subgoal in degraded:
+                assert "injected fault" in subgoal["error"]
+
+    @pytest.mark.parametrize("kind,outcome", [
+        ("budget", "BUDGET_EXCEEDED"),
+        ("timeout", "TIMEOUT"),
+        ("memory", "ERROR"),
+        ("error", "ERROR"),
+        ("recursion", "ERROR"),
+    ])
+    def test_each_kind_maps_to_outcome(self, kind, outcome,
+                                       monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", f"mso.compile:{kind}")
+        assert main(["verify", "reverse", "--json"]) == 3
+        document = json.loads(capsys.readouterr().out)
+        assert document["outcome"] == outcome
+        assert document["subgoals"][0]["outcome"] == outcome
+
+    def test_interrupt_fault_exits_130_with_partial_json(
+            self, monkeypatch, capsys):
+        # Fire once, at the second subgoal: the first decides cleanly,
+        # then Ctrl-C arrives; the partial report must still flush.
+        monkeypatch.setenv("REPRO_FAULTS", "exec.symbolic:interrupt")
+        assert main(["verify", "reverse", "--json"]) == 130
+        document = json.loads(capsys.readouterr().out)
+        assert document["interrupted"] is True
+        assert document["outcome"] == "INTERRUPTED"
+        assert document["valid"] is False
+
+    def test_interrupt_outside_engine_exits_130(self, monkeypatch,
+                                                capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "exec.symbolic:interrupt")
+        assert main(["table", "reverse", "--json"]) == 130
+        documents = json.loads(capsys.readouterr().out)
+        assert documents[0]["interrupted"] is True
+
+
+class TestDegradationLadder:
+    def test_one_shot_fault_recovers_on_retry(self):
+        with faults.injected("verify.decide:error:1"):
+            result = verify_source(
+                wrap_program("  p := x", post="p = x"))
+        (subgoal,) = result.results
+        assert subgoal.valid
+        assert subgoal.outcome is Outcome.VERIFIED
+        assert subgoal.attempts == 2
+
+    def test_persistent_fault_degrades(self):
+        with faults.injected("verify.decide:error"):
+            result = verify_source(
+                wrap_program("  p := x", post="p = x"))
+        (subgoal,) = result.results
+        assert not subgoal.valid
+        assert subgoal.outcome is Outcome.ERROR
+        assert subgoal.attempts == 2
+        assert "injected fault" in subgoal.error
+
+    def test_retry_toggles_reduction_and_preserves_verdict(self):
+        """The ladder's alternate attempt (reduction toggled) must
+        reach the same verdicts, for a valid and a failing program."""
+        for body, post, expected in (("  p := x", "p = x", True),
+                                     ("  p := x", "p = nil", False)):
+            source = wrap_program(body, post=post)
+            baseline = verify_source(source)
+            for reduce in (True, False):
+                with faults.injected("verify.decide:budget:1"):
+                    retried = verify_source(source, reduce=reduce)
+                (subgoal,) = retried.results
+                assert subgoal.attempts == 2
+                assert retried.valid is baseline.valid is expected
+
+    def test_timeout_fault_skips_retry(self):
+        with faults.injected("verify.decide:timeout"):
+            result = verify_source(
+                wrap_program("  p := x", post="p = x"))
+        (subgoal,) = result.results
+        assert subgoal.outcome is Outcome.TIMEOUT
+        assert subgoal.attempts == 1
+
+    def test_counterexample_fault_degrades_failing_subgoal(self):
+        with faults.injected("verify.counterexample:memory"):
+            result = verify_source(
+                wrap_program("  p := x", post="p = nil"))
+        (subgoal,) = result.results
+        assert subgoal.outcome is Outcome.ERROR
+        assert "out-of-memory" in subgoal.error

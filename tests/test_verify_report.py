@@ -48,6 +48,11 @@ class TestTable:
         assert not result.valid
         assert format_table_row(result).rstrip().endswith("NO")
 
+    def test_degraded_row_names_outcome(self):
+        result = verify_body("  p := x", post="p = x", timeout=0.0)
+        row = format_table_row(result)
+        assert row.rstrip().endswith("TIMEOUT")
+
     def test_format_table_has_header_rule_rows(self, untraced_result):
         table = format_table([untraced_result, untraced_result])
         lines = table.splitlines()
@@ -102,9 +107,12 @@ class TestTimingTree:
 class TestJsonExport:
     def test_round_trip_schema(self, traced_result):
         document = json.loads(format_json(traced_result))
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         assert document["program"] == "t"
         assert document["valid"] is True
+        assert document["outcome"] == "VERIFIED"
+        assert document["interrupted"] is False
+        assert document["budget"] is None
         assert document["seconds"] == pytest.approx(
             traced_result.seconds)
         (subgoal,) = document["subgoals"]
