@@ -1,0 +1,86 @@
+"""T2 — parallel speedup over the §6 table corpus.
+
+Times the whole table sequentially and with a 4-worker pool, checks
+the two runs agree verdict-for-verdict, and amends the ``parallel``
+block into ``benchmarks/out/table1.json`` (this file sorts after
+``test_table1_statistics.py``, which writes the envelope first).
+
+The ≥1.8x speedup acceptance bar only binds on a machine with at
+least 4 CPUs — on smaller runners the timing is still recorded, the
+ratio assertion is skipped (a 1-CPU container cannot exhibit a
+speedup, only scheduling overhead).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.parallel import EngineOptions, run_table
+from repro.programs import TABLE_PROGRAMS
+from repro.verify import verify_source
+
+from conftest import artifact_path
+
+JOBS = 4
+
+
+def _sequential():
+    start = time.perf_counter()
+    results = [verify_source(TABLE_PROGRAMS[name])
+               for name in TABLE_PROGRAMS]
+    return results, time.perf_counter() - start
+
+
+def _parallel():
+    start = time.perf_counter()
+    results, interrupted = run_table(list(TABLE_PROGRAMS),
+                                     EngineOptions(), jobs=JOBS)
+    assert not interrupted
+    return results, time.perf_counter() - start
+
+
+def test_parallel_speedup_recorded():
+    sequential_results, sequential_seconds = _sequential()
+    parallel_results, parallel_seconds = _parallel()
+
+    # Verdict identity first: a fast wrong answer is no speedup.
+    assert [r.valid for r in parallel_results] == \
+        [r.valid for r in sequential_results]
+    assert [r.outcome.value for r in parallel_results] == \
+        [r.outcome.value for r in sequential_results]
+    assert all(result.valid for result in parallel_results)
+
+    speedup = sequential_seconds / parallel_seconds \
+        if parallel_seconds else float("inf")
+    block = {
+        "jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+        "sequential_seconds": round(sequential_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(speedup, 3),
+    }
+
+    path = artifact_path("table1.json")
+    try:
+        with open(path, encoding="utf-8") as src:
+            document = json.load(src)
+    except FileNotFoundError:
+        # Standalone run: record into a minimal envelope.
+        document = {"schema_version": 2}
+    document["parallel"] = block
+    with open(path, "w", encoding="utf-8") as out:
+        json.dump(document, out, indent=2)
+        out.write("\n")
+    print()
+    print(f"table x{JOBS} workers: {sequential_seconds:.2f}s -> "
+          f"{parallel_seconds:.2f}s ({speedup:.2f}x, "
+          f"{os.cpu_count()} CPUs)")
+
+    if (os.cpu_count() or 1) < JOBS:
+        pytest.skip(f"speedup bar needs >= {JOBS} CPUs, have "
+                    f"{os.cpu_count()}")
+    assert speedup >= 1.8, (
+        f"table --jobs {JOBS} must be >= 1.8x faster than sequential "
+        f"on a {JOBS}-core runner, measured {speedup:.2f}x")

@@ -4,10 +4,10 @@ Usage::
 
     repro-verify verify FILE.pas [--verbose] [--no-simulate]
                                  [--profile] [--trace] [--json]
-                                 [--no-reduce] [--timeout S]
-                                 [--max-bdd-nodes N] [--max-states N]
-                                 [--max-steps N]
-    repro-verify table  [NAME ...] [--json] [--no-reduce]
+                                 [--no-reduce] [--jobs N]
+                                 [--timeout S] [--max-bdd-nodes N]
+                                 [--max-states N] [--max-steps N]
+    repro-verify table  [NAME ...] [--json] [--no-reduce] [--jobs N]
                                    [--keep-going] [budget flags]
     repro-verify lint   FILE.pas [...] [--json] [--strict]
     repro-verify show   NAME            # print a bundled example program
@@ -26,6 +26,14 @@ Resource budgets (``--timeout``, ``--max-bdd-nodes``, ``--max-states``,
 ``--max-steps``) bound the decision procedure; a subgoal that trips a
 limit degrades to a structured TIMEOUT/BUDGET_EXCEEDED outcome instead
 of hanging (see ``docs/ARCHITECTURE.md`` §9).
+
+``--jobs N`` (``-j N``) fans subgoals (``verify``) or whole programs
+(``table``) across N worker processes with work stealing; ``-j 0``
+means one worker per CPU, and the default 1 keeps everything
+in-process.  Reports are verdict- and schema-identical either way
+(``docs/ARCHITECTURE.md`` §10); under ``--timeout`` the run deadline
+is partitioned across subgoals so a stuck worker cannot starve its
+siblings.
 
 Exit codes (``verify`` and ``table``): 0 verified, 1 failed with a
 counterexample, 2 usage or front-end error, 3 degraded (a budget limit
@@ -95,6 +103,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify_cmd.add_argument("--no-reduce", action="store_true",
                             help="keep every variable track (disable "
                                  "the cone-of-influence reduction)")
+    _add_jobs_flag(verify_cmd)
     _add_budget_flags(verify_cmd)
 
     table_cmd = commands.add_parser(
@@ -114,6 +123,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="record a front-end error as an ERROR "
                                 "row and continue with the remaining "
                                 "programs instead of aborting")
+    _add_jobs_flag(table_cmd)
     _add_budget_flags(table_cmd)
 
     lint_cmd = commands.add_parser(
@@ -163,6 +173,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+
+
+def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
+    """The parallel-execution flag shared by verify and table."""
+    command.add_argument("-j", "--jobs", type=int, default=1,
+                         metavar="N",
+                         help="decide subgoals (verify) or programs "
+                              "(table) across N worker processes; 0 = "
+                              "one per CPU [default: 1, sequential]")
 
 
 def _add_budget_flags(command: argparse.ArgumentParser) -> None:
@@ -228,11 +247,15 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "lint":
         return _lint(args.files, as_json=args.json, strict=args.strict)
     if args.command == "verify":
+        from repro.parallel import resolve_jobs
+
         source = _load(args.file)
         tracer = _make_tracer(args)
         result = verify_source(source, simulate=not args.no_simulate,
                                reduce=not args.no_reduce,
-                               tracer=tracer, **_budget_kwargs(args))
+                               tracer=tracer,
+                               jobs=resolve_jobs(args.jobs),
+                               **_budget_kwargs(args))
         if args.json:
             print(format_json(result))
         else:
@@ -249,25 +272,32 @@ def _dispatch(args: argparse.Namespace) -> int:
 def _table(args: argparse.Namespace) -> int:
     """Verify the table corpus; always flush the (possibly partial)
     report, even when interrupted mid-corpus."""
+    from repro.parallel import resolve_jobs
+
     names = args.names or list(TABLE_PROGRAMS)
+    jobs = resolve_jobs(args.jobs)
     results: List[VerificationResult] = []
     interrupted = False
-    for name in names:
-        try:
-            source = _load(name)
-            result = verify_source(source, reduce=not args.no_reduce,
-                                   **_budget_kwargs(args))
-        except KeyboardInterrupt:
-            interrupted = True
-            break
-        except (ReproError, OSError) as exc:
-            if not args.keep_going:
-                raise
-            result = VerificationResult(program=name, error=str(exc))
-        results.append(result)
-        if result.interrupted:
-            interrupted = True
-            break
+    if jobs > 1:
+        results, interrupted = _table_parallel(names, jobs, args)
+    else:
+        for name in names:
+            try:
+                source = _load(name)
+                result = verify_source(source,
+                                       reduce=not args.no_reduce,
+                                       **_budget_kwargs(args))
+            except KeyboardInterrupt:
+                interrupted = True
+                break
+            except (ReproError, OSError) as exc:
+                if not args.keep_going:
+                    raise
+                result = VerificationResult(program=name, error=str(exc))
+            results.append(result)
+            if result.interrupted:
+                interrupted = True
+                break
     if args.json:
         import json as _json
         print(_json.dumps([result.to_dict() for result in results],
@@ -278,6 +308,23 @@ def _table(args: argparse.Namespace) -> int:
             print(f"interrupted after {len(results)} of {len(names)} "
                   f"programs", file=sys.stderr)
     return _combined_exit_code(results, interrupted)
+
+
+def _table_parallel(names: List[str], jobs: int,
+                    args: argparse.Namespace):
+    """Fan whole programs across the worker pool.  A KeyboardInterrupt
+    (from the terminal or injected in a worker) terminates the pool
+    and leaves the partial results for the caller to flush."""
+    from repro.parallel import EngineOptions, run_table
+
+    budget = _budget_kwargs(args)
+    options = EngineOptions(
+        reduce=not args.no_reduce,
+        timeout=budget["timeout"],
+        max_bdd_nodes=budget["max_bdd_nodes"],
+        max_states=budget["max_states"],
+        max_steps=budget["max_steps"])
+    return run_table(names, options, jobs, keep_going=args.keep_going)
 
 
 def _lint(files: List[str], as_json: bool, strict: bool) -> int:
@@ -364,10 +411,8 @@ def _synthesize(formula_text: str, program_name: str) -> int:
 
 
 def _load(name_or_path: str) -> str:
-    if name_or_path in ALL_PROGRAMS:
-        return ALL_PROGRAMS[name_or_path]
-    with open(name_or_path, "r", encoding="utf-8") as handle:
-        return handle.read()
+    from repro.programs import load_source
+    return load_source(name_or_path)
 
 
 if __name__ == "__main__":

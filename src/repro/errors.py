@@ -21,6 +21,9 @@ class ParseError(ReproError):
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        # The raw (un-prefixed) message is kept so pickling can rebuild
+        # the exception through __init__ without double-prefixing.
+        self._raw_message = message
         # A position with line 0 but a real column (a lexer error on a
         # synthetic first line) still deserves its prefix.
         if line or column:
@@ -28,6 +31,9 @@ class ParseError(ReproError):
         super().__init__(message)
         self.line = line
         self.column = column
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.line, self.column))
 
 
 class TypeError_(ReproError):
@@ -62,8 +68,12 @@ class VerificationError(ReproError):
     """
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self._raw_message = message
         if line:
             message = f"{line}:{column}: {message}"
         super().__init__(message)
         self.line = line
         self.column = column
+
+    def __reduce__(self):
+        return (type(self), (self._raw_message, self.line, self.column))

@@ -38,6 +38,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Counters accumulate: the merged count is the sum."""
+        self.value += other.value
+
     def to_dict(self) -> Dict[str, object]:
         return {"type": "counter", "value": self.value}
 
@@ -56,6 +60,15 @@ class Gauge:
         self.value = value
         if value > self.max_value:
             self.max_value = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Gauges merge by maximum — the max-over-subgoals rule the
+        ``verify.tracks_*`` gauges follow, so a merged view reports
+        the same number a single-process run would."""
+        if other.value > self.value:
+            self.value = other.value
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
 
     def to_dict(self) -> Dict[str, object]:
         return {"type": "gauge", "value": self.value,
@@ -91,6 +104,20 @@ class Histogram:
             self.maximum = value
         bucket = max(0, int(value) - 1).bit_length()
         self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Histograms merge as if every observation had been made on
+        this one: counts, totals and buckets sum; min/max combine."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (self.minimum is None
+                                          or other.minimum < self.minimum):
+            self.minimum = other.minimum
+        if other.maximum is not None and (self.maximum is None
+                                          or other.maximum > self.maximum):
+            self.maximum = other.maximum
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
 
     @property
     def mean(self) -> float:
@@ -135,6 +162,23 @@ class MetricsRegistry:
         if found is None:
             found = self._histograms[name] = Histogram(name)
         return found
+
+    def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Fold another registry into this one, metric by metric:
+        counters sum, gauges take maxima, histograms accumulate.
+
+        A non-empty ``prefix`` records the other registry's metrics
+        under namespaced names instead (``worker.3.<name>``), which is
+        how the parallel executor keeps both a per-worker view and —
+        via a second prefix-less merge — the merged view whose numbers
+        match a single-process run.
+        """
+        for name, counter in other._counters.items():
+            self.counter(prefix + name).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(prefix + name).merge(gauge)
+        for name, histogram in other._histograms.items():
+            self.histogram(prefix + name).merge(histogram)
 
     def to_dict(self) -> Dict[str, object]:
         """All metrics, name-sorted, JSON-ready."""
@@ -188,6 +232,9 @@ class _NullRegistry:
 
     def histogram(self, name: str) -> _NullHistogram:
         return _NULL_HISTOGRAM
+
+    def merge(self, other, prefix: str = "") -> None:
+        pass
 
     def to_dict(self) -> Dict[str, object]:
         return {}

@@ -1,0 +1,31 @@
+"""Sharded parallel verification (``--jobs N``).
+
+Fans independent subgoals — and whole programs, for ``repro table``
+and batch runs — across a pool of worker processes, one BDD manager
+per worker, then merges per-worker ``CompilationStats``, metrics and
+outcomes back into a single :class:`~repro.verify.VerificationResult`
+whose JSON report is schema-compatible (schema_version 2) and
+verdict-identical with a sequential run.
+
+Module map:
+
+* :mod:`repro.parallel.schedule` — deterministic work-stealing order
+  and deadline partitioning (pure; fake-clock testable);
+* :mod:`repro.parallel.wire` — picklable task/result payloads;
+* :mod:`repro.parallel.worker` — worker-process entry points;
+* :mod:`repro.parallel.pool` — the executor and the merge logic.
+
+The differential harness ``tests/diffcheck.py`` is this package's
+correctness contract: sequential and parallel runs over the whole
+corpus must produce identical normalized reports.
+"""
+
+from repro.parallel.pool import (engine_options, resolve_jobs,
+                                 run_table, verify_parallel)
+from repro.parallel.schedule import (Task, WorkStealingScheduler,
+                                     partition_deadline)
+from repro.parallel.wire import EngineOptions
+
+__all__ = ["EngineOptions", "Task", "WorkStealingScheduler",
+           "engine_options", "partition_deadline", "resolve_jobs",
+           "run_table", "verify_parallel"]

@@ -1,0 +1,116 @@
+"""Deterministic scheduling policy for the parallel executor.
+
+Two concerns live here, both pure and fake-clock testable:
+
+* **ordering** — :class:`WorkStealingScheduler` decides which pending
+  task an idle worker steals next: the *longest-pending* task first
+  (earliest enqueue by the scheduler's clock), with estimated cost
+  (descending) and then submission index breaking ties.  In the real
+  executor every subgoal is enqueued at the same instant, so the
+  policy degenerates to longest-job-first — the classic LPT makespan
+  heuristic — while a run that trickles tasks in (``table`` feeding
+  programs as sources load) gets genuine oldest-first stealing.
+
+* **deadline partitioning** — :func:`partition_deadline` splits one
+  absolute run deadline into per-task slices such that no task can
+  consume a sibling's share: with ``P`` pending tasks on ``W``
+  workers, the tasks run in at most ``ceil(P / W)`` waves, and each
+  task's slice is ``remaining / waves``.  Even if a worker wedges
+  inside its slice, every other task still owns enough of the
+  deadline to run (``slice * waves <= remaining``).
+
+The executor uses the scheduler only to fix the submission order; the
+actual stealing is the process pool's shared task queue, from which
+idle workers pull in exactly that order.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Task:
+    """One schedulable unit (a subgoal or a whole program).
+
+    Attributes:
+        key: caller's identifier (subgoal index, program name).
+        cost: estimated decision cost; any monotone proxy works (the
+            engine uses statement + obligation counts).
+        enqueued: scheduler-clock time the task became pending.
+    """
+
+    key: object
+    cost: float = 0.0
+    enqueued: float = 0.0
+    #: Submission sequence number; the final, deterministic tie-break.
+    index: int = field(default=0, compare=False)
+
+
+class WorkStealingScheduler:
+    """Orders pending tasks for idle workers.
+
+    Args:
+        clock: time source (injectable for deterministic tests).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._pending: List[Task] = []
+        self._counter = 0
+
+    def add(self, key: object, cost: float = 0.0,
+            enqueued: Optional[float] = None) -> Task:
+        """Enqueue one task; ``enqueued`` defaults to the clock now."""
+        task = Task(key=key, cost=float(cost),
+                    enqueued=self._clock() if enqueued is None
+                    else enqueued,
+                    index=self._counter)
+        self._counter += 1
+        self._pending.append(task)
+        return task
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def steal(self) -> Optional[Task]:
+        """Pop the task an idle worker should run next: the one
+        pending longest; among equals, the costliest; among those, the
+        earliest submitted."""
+        if not self._pending:
+            return None
+        now = self._clock()
+        best = min(self._pending,
+                   key=lambda t: (-(now - t.enqueued), -t.cost, t.index))
+        self._pending.remove(best)
+        return best
+
+    def drain(self) -> List[Task]:
+        """Steal every pending task, in stealing order — the executor's
+        submission order."""
+        order: List[Task] = []
+        while self._pending:
+            task = self.steal()
+            assert task is not None
+            order.append(task)
+        return order
+
+
+def partition_deadline(remaining: Optional[float], pending: int,
+                       workers: int) -> Optional[float]:
+    """Per-task wall-clock slice of one shared deadline.
+
+    Returns None when there is no deadline.  A non-positive
+    ``remaining`` yields 0.0 — every task's budget trips immediately,
+    mirroring the sequential engine's behaviour once its absolute
+    deadline has passed.
+    """
+    if remaining is None:
+        return None
+    if remaining <= 0 or pending <= 0:
+        return 0.0
+    waves = math.ceil(pending / max(1, workers))
+    return remaining / waves

@@ -359,3 +359,16 @@ FAULTY_PROGRAMS: Dict[str, str] = {
     "fumble": FUMBLE,
     "swap": SWAP,
 }
+
+
+def load_source(name_or_path: str) -> str:
+    """Resolve a bundled program name or a filesystem path to source.
+
+    The CLI and the parallel table workers share this: a worker
+    process receives only the name/path, so loading must be a pure
+    function of it.
+    """
+    if name_or_path in ALL_PROGRAMS:
+        return ALL_PROGRAMS[name_or_path]
+    with open(name_or_path, "r", encoding="utf-8") as handle:
+        return handle.read()

@@ -81,6 +81,13 @@ class BudgetExceeded(ReproError):
         self.value = value
         self.cap = cap
 
+    def __reduce__(self):
+        # Exception's default pickling replays ``args`` (the formatted
+        # message) into ``__init__``, which takes four positionals; a
+        # budget trip must survive the worker->parent process boundary
+        # intact, so rebuild from the structured fields instead.
+        return (type(self), (self.limit, self.site, self.value, self.cap))
+
 
 class Budget:
     """A cooperative resource budget for one verification run.

@@ -353,6 +353,13 @@ class Verifier:
         retry_alternate: when a subgoal trips a (non-deadline) budget
             limit or raises, retry it once with the cone-of-influence
             reduction toggled before recording a degraded outcome.
+        jobs: worker processes deciding subgoals concurrently; 1 (the
+            default) keeps today's in-process sequential behaviour,
+            ``N > 1`` fans subgoals out over :mod:`repro.parallel`.
+            Verdicts, outcomes, counterexamples and per-subgoal stats
+            are identical either way (see ``tests/diffcheck.py``); the
+            run deadline is partitioned across subgoals instead of
+            being one shared absolute clock.
     """
 
     def __init__(self, program: TypedProgram,
@@ -365,7 +372,8 @@ class Verifier:
                  max_bdd_nodes: Optional[int] = None,
                  max_states: Optional[int] = None,
                  max_steps: Optional[int] = None,
-                 retry_alternate: bool = True) -> None:
+                 retry_alternate: bool = True,
+                 jobs: int = 1) -> None:
         self.program = program
         self.minimize_during = minimize_during
         self.simulate = simulate
@@ -377,6 +385,7 @@ class Verifier:
         self.max_states = max_states
         self.max_steps = max_steps
         self.retry_alternate = retry_alternate
+        self.jobs = jobs
         self._budget: Optional[Budget] = None
         # One concrete interpreter serves every obligation and
         # counterexample simulation; it is stateless between runs.
@@ -388,17 +397,27 @@ class Verifier:
 
     # ------------------------------------------------------------------
 
+    def _make_budget(self,
+                     timeout: Optional[float]) -> Optional[Budget]:
+        """A budget for the configured caps and the given wall-clock
+        allowance, or None when every limit is unlimited."""
+        if all(limit is None for limit in
+               (timeout, self.max_bdd_nodes, self.max_states,
+                self.max_steps)):
+            return None
+        return Budget(timeout=timeout,
+                      max_bdd_nodes=self.max_bdd_nodes,
+                      max_states=self.max_states,
+                      max_steps=self.max_steps)
+
     def verify(self) -> VerificationResult:
         """Collect and decide every subgoal."""
-        if any(limit is not None for limit in
-               (self.timeout, self.max_bdd_nodes, self.max_states,
-                self.max_steps)):
-            self._budget = Budget(timeout=self.timeout,
-                                  max_bdd_nodes=self.max_bdd_nodes,
-                                  max_states=self.max_states,
-                                  max_steps=self.max_steps)
-        else:
-            self._budget = None
+        if self.jobs > 1:
+            # The process-pool executor reassembles a result that is
+            # verdict-identical to the sequential path below.
+            from repro.parallel.pool import verify_parallel
+            return verify_parallel(self)
+        self._budget = self._make_budget(self.timeout)
         try:
             if self.tracer is not None:
                 with obs_trace.activate(self.tracer):
@@ -412,6 +431,28 @@ class Verifier:
             with robust_budget.activate(self._budget):
                 return self._verify()
         return self._verify()
+
+    def decide_index(self, index: int,
+                     timeout: Optional[float] = None) -> SubgoalResult:
+        """Decide the subgoal at ``index`` of :meth:`collect_subgoals`.
+
+        The parallel worker entry point: subgoal collection is
+        deterministic, so parent and worker agree on the numbering
+        without shipping the (unpicklable) subgoal closures across
+        the process boundary.  ``timeout`` replaces the run timeout —
+        the worker's slice of the partitioned run deadline.
+        """
+        effective = self.timeout if timeout is None else timeout
+        self._budget = self._make_budget(effective)
+        try:
+            subgoals = self.collect_subgoals()
+            subgoal = subgoals[index]
+            if self._budget is not None:
+                with robust_budget.activate(self._budget):
+                    return self.decide(subgoal)
+            return self.decide(subgoal)
+        finally:
+            self._budget = None
 
     def _verify(self) -> VerificationResult:
         result = VerificationResult(self.program.name)

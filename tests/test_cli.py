@@ -184,6 +184,54 @@ class TestBudgetFlags:
         assert "130" in out
 
 
+class TestJobsFlag:
+    def test_verify_parallel_matches_sequential_shape(self, capsys):
+        assert main(["verify", "searchwf", "--json"]) == 0
+        sequential = json.loads(capsys.readouterr().out)
+        assert main(["verify", "searchwf", "--json", "-j", "2"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel["schema_version"] == 2
+        assert set(parallel) == set(sequential)
+        assert parallel["valid"] is sequential["valid"] is True
+        assert parallel["stats"] == sequential["stats"]
+        assert len(parallel["subgoals"]) == len(sequential["subgoals"])
+
+    def test_jobs_zero_resolves_to_cpu_count(self, capsys):
+        assert main(["verify", "searchwf", "--jobs", "0"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_table_jobs_flag(self, capsys):
+        assert main(["table", "searchwf", "fumble", "--jobs", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "searchwf" in out
+        assert "NO" in out
+
+    def test_table_jobs_keep_going_error_rows(self, capsys):
+        assert main(["table", "searchwf", "/nonexistent/x.pas",
+                     "--keep-going", "--jobs", "2"]) == 3
+        out = capsys.readouterr().out
+        assert "ERROR" in out
+        assert "yes" in out
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["verify", "searchwf", "-j", "-2"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_parallel_interrupt_exits_130_with_partial_json(
+            self, capsys, monkeypatch):
+        # Ctrl-C inside a worker: the pool is terminated (no orphan
+        # outlives the run), the partial --json report is still
+        # flushed, and the driver exits 130 like the sequential path.
+        import multiprocessing
+        monkeypatch.setenv("REPRO_FAULTS", "exec.symbolic:interrupt")
+        code = main(["verify", "reverse", "--json", "-j", "2"])
+        assert code == 130
+        document = json.loads(capsys.readouterr().out)
+        assert document["interrupted"] is True
+        assert document["outcome"] == "INTERRUPTED"
+        assert multiprocessing.active_children() == []
+
+
 class TestSynth:
     def test_synthesizes_smallest_store(self, capsys):
         assert main(["synth", "x<next*>p & <(List:blue)?>p"]) == 0

@@ -147,6 +147,59 @@ class TestEngineBudgets:
         assert result.results[0].attempts == 1
 
 
+class TestExceptionPickling:
+    """Every exception the engine may raise must survive the worker
+    process boundary: the parallel executor ships failures back to
+    the parent by pickling them, so a round trip has to preserve
+    type, message, and structured fields exactly."""
+
+    @staticmethod
+    def round_trip(exc):
+        import pickle
+        return pickle.loads(pickle.dumps(exc))
+
+    def test_budget_exceeded_round_trips(self):
+        original = BudgetExceeded("bdd_nodes", "bdd.node", 2049, 2048)
+        clone = self.round_trip(original)
+        assert type(clone) is BudgetExceeded
+        assert str(clone) == str(original)
+        assert (clone.limit, clone.site, clone.value, clone.cap) == \
+            ("bdd_nodes", "bdd.node", 2049, 2048)
+
+    def test_verification_error_round_trips_without_double_prefix(self):
+        from repro.errors import VerificationError
+        original = VerificationError("subgoal exploded", line=3,
+                                     column=7)
+        clone = self.round_trip(original)
+        assert type(clone) is VerificationError
+        assert str(clone) == str(original)
+        assert (clone.line, clone.column) == (3, 7)
+        # Reconstruction must not re-apply the position prefix.
+        assert str(clone) == "3:7: subgoal exploded"
+
+    def test_parse_error_round_trips(self):
+        from repro.errors import ParseError
+        original = ParseError("unexpected token", line=1, column=2)
+        clone = self.round_trip(original)
+        assert type(clone) is ParseError
+        assert str(clone) == str(original)
+
+    def test_injected_fault_exceptions_round_trip(self):
+        from repro.robust import faults
+        for kind in faults.FAULT_KINDS:
+            if kind == "interrupt":
+                continue  # KeyboardInterrupt never crosses the wire
+            try:
+                faults.parse_plan(f"mso.compile:{kind}").fire(
+                    "mso.compile")
+            except Exception as exc:
+                clone = self.round_trip(exc)
+                assert type(clone) is type(exc)
+                assert str(clone) == str(exc)
+            else:  # pragma: no cover - every kind must raise
+                raise AssertionError(f"fault kind {kind} did not fire")
+
+
 class TestOutcomeAggregation:
     def test_failed_dominates_degraded(self):
         from repro.verify.engine import _OUTCOME_SEVERITY
