@@ -1,0 +1,17 @@
+program scan;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+
+{data} var x: List;
+{pointer} var p, t: List;
+begin
+  t := x;
+  p := x;
+  while p <> nil do begin
+    t := p;
+    p := p^.next
+  end;
+  t := nil
+end.

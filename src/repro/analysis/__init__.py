@@ -1,10 +1,12 @@
-"""Static analysis front-end: CFGs, dataflow, lints, cone of influence.
+"""Static analysis front-end: CFGs, dataflow, lints, slicing, ordering.
 
-The package serves two consumers: the ``repro lint`` CLI subcommand
-(:func:`lint_source` / :func:`lint_program`), and the verifier's
-cone-of-influence track reduction (:func:`cone_of_influence`), which
-drops automaton tracks for variables that cannot affect a subgoal's
-obligations.
+The package serves three consumers: the ``repro lint`` CLI subcommand
+(:func:`lint_source` / :func:`lint_program`); the verifier's subgoal
+preparation — cone-of-influence track reduction
+(:func:`cone_of_influence`), statement-level backward slicing
+(:func:`slice_statements`) and dependency-driven BDD track ordering
+(:func:`choose_order`); and the verdict cache, which keys subgoals by
+the content fingerprints of :mod:`repro.analysis.fingerprint`.
 """
 
 from repro.analysis.cfg import CFG, Edge, Node, from_program, \
@@ -12,21 +14,40 @@ from repro.analysis.cfg import CFG, Edge, Node, from_program, \
 from repro.analysis.coi import cone_of_influence, guard_vars
 from repro.analysis.dataflow import Analysis, DataflowResult, solve
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.fingerprint import (CACHE_SCHEMA_VERSION,
+                                        canonical_schema,
+                                        canonical_statements,
+                                        code_fingerprint,
+                                        subgoal_fingerprint)
 from repro.analysis.lints import lint_program, lint_source
+from repro.analysis.order import affinity_graph, choose_order
+from repro.analysis.slice import (SliceResult, dropped_statements,
+                                  slice_statements, statement_count)
 
 __all__ = [
     "Analysis",
+    "CACHE_SCHEMA_VERSION",
     "CFG",
     "DataflowResult",
     "Diagnostic",
     "Edge",
     "Node",
     "Severity",
+    "SliceResult",
+    "affinity_graph",
+    "canonical_schema",
+    "canonical_statements",
+    "choose_order",
+    "code_fingerprint",
     "cone_of_influence",
+    "dropped_statements",
     "from_program",
     "from_statements",
     "guard_vars",
     "lint_program",
     "lint_source",
+    "slice_statements",
     "solve",
+    "statement_count",
+    "subgoal_fingerprint",
 ]

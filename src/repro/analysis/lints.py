@@ -1,6 +1,6 @@
 """Pointer lints over the typed IR.
 
-Five analyses, each reporting :class:`Diagnostic` findings with source
+Six analyses, each reporting :class:`Diagnostic` findings with source
 positions:
 
 * ``nil-deref`` (error) — a dereference whose base variable is
@@ -18,7 +18,15 @@ positions:
   every variable live, the verifier's well-formedness default);
 * ``unreachable`` (warning) — a statement the nil-ness analysis
   proves no execution reaches (only the first statement of each dead
-  region is reported).
+  region is reported);
+* ``lost-cell`` (error) — a statement after which *no* variable can
+  still point to a cell the program allocated, before its address was
+  ever stored into the heap or the cell disposed: the cell is
+  unreachable garbage from then on.  A forward analysis tracks, per
+  allocation site, the set of variables that may hold the address and
+  whether it may have escaped into a heap field; the report fires
+  exactly when the may-set empties unescaped, so it is a definite
+  leak, not a heuristic.
 
 All lints are whole-program (loops included) and produce no findings
 on the bundled example programs.
@@ -75,6 +83,7 @@ def lint_program(program: TypedProgram) -> List[Diagnostic]:
     diagnostics += _unreachable(graph, nil_result)
     diagnostics += _use_before_assign(graph, program)
     diagnostics += _dead_assignments(graph, program)
+    diagnostics += _lost_cells(graph)
     diagnostics.sort(key=lambda d: (d.line, d.column, d.code, d.message))
     return diagnostics
 
@@ -488,6 +497,124 @@ def _use_before_assign(graph: CFG,
                     severity=Severity.WARNING,
                     message=f"pointer '{name}' may be read before "
                             f"any assignment", line=node.line))
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+# lost-cell
+# ----------------------------------------------------------------------
+
+#: Per allocation site (the ``new``'s line): the variables that may
+#: still hold the cell's address, and whether the address may have
+#: been stored into a heap field ("escaped").
+AllocState = Dict[int, "AllocFact"]
+AllocFact = tuple  # (FrozenSet[str] aliases, bool escaped)
+
+
+class _AllocAnalysis(Analysis[AllocState]):
+    """Forward may-analysis of where each allocated cell's address can
+    still be.  ``new(v, c)`` starts a site with may-set ``{v}``;
+    copies propagate membership, overwrites remove it, a heap store of
+    a member marks the site escaped, and ``dispose`` of a member
+    retires the site.  A site whose may-set empties unescaped is a
+    definite leak — the transfer drops it (the reporting pass replays
+    the transition to attach a position)."""
+
+    direction = FORWARD
+
+    def boundary(self, graph: CFG) -> AllocState:
+        return {}
+
+    def join(self, states: Sequence[AllocState]) -> AllocState:
+        merged: AllocState = {}
+        for state in states:
+            for site, (aliases, escaped) in state.items():
+                old = merged.get(site)
+                if old is None:
+                    merged[site] = (aliases, escaped)
+                else:
+                    merged[site] = (old[0] | aliases,
+                                    old[1] or escaped)
+        return merged
+
+    def transfer(self, node: Node, state: AllocState) -> AllocState:
+        return _alloc_transfer(node.statement, state)[0]
+
+
+def _drop_empty(state: AllocState) -> tuple:
+    """Split a state into (live sites, leaked site lines)."""
+    kept: AllocState = {}
+    lost: List[int] = []
+    for site, (aliases, escaped) in state.items():
+        if aliases or escaped:
+            kept[site] = (aliases, escaped)
+        else:
+            lost.append(site)
+    return kept, lost
+
+
+def _alloc_transfer(statement: object, state: AllocState) -> tuple:
+    """One forward step: (state after, lines of sites leaked here)."""
+    if isinstance(statement, TAssign):
+        lhs, rhs = statement.lhs, statement.rhs
+        if isinstance(lhs, FieldLhs):
+            # Storing a member's value into the heap publishes the
+            # cell's address; the heap may now be its only route.
+            if rhs is not None and not rhs.steps:
+                state = {site: (aliases, escaped or rhs.var in aliases)
+                         for site, (aliases, escaped) in state.items()}
+            return state, []
+        updated: AllocState = {}
+        for site, (aliases, escaped) in state.items():
+            if rhs is not None and not rhs.steps and \
+                    rhs.var in aliases:
+                aliases = aliases | {lhs.name}
+            else:
+                # nil, a non-member variable, or a heap read (which
+                # can only yield the address once it escaped — and
+                # escaped sites are never reported).
+                aliases = aliases - {lhs.name}
+            updated[site] = (aliases, escaped)
+        return _drop_empty(updated)
+    if isinstance(statement, TNew):
+        if isinstance(statement.lhs, FieldLhs):
+            # Allocated directly into a heap field: reachable from the
+            # heap by construction; nothing to track.
+            return state, []
+        name = statement.lhs.name
+        updated = {site: (aliases - {name}, escaped)
+                   for site, (aliases, escaped) in state.items()}
+        kept, lost = _drop_empty(updated)
+        kept[statement.line] = (frozenset([name]), False)
+        return kept, lost
+    if isinstance(statement, TDispose):
+        path = statement.path
+        if path.steps:
+            # Freeing through the heap: only an escaped cell can be
+            # reached this way, and escaped sites are already exempt.
+            return state, []
+        return {site: fact for site, fact in state.items()
+                if path.var not in fact[0]}, []
+    # Branches, annotations, entry/exit: no change.
+    return state, []
+
+
+def _lost_cells(graph: CFG) -> List[Diagnostic]:
+    result = solve(graph, _AllocAnalysis())
+    diagnostics = []
+    for node in graph.statement_nodes():
+        if node.kind in (BRANCH, ANNOTATION) or \
+                not result.reachable(node.index):
+            continue
+        _, lost = _alloc_transfer(node.statement,
+                                  result.inputs[node.index])
+        for site in sorted(lost):
+            diagnostics.append(Diagnostic(
+                code="lost-cell", severity=Severity.ERROR,
+                message=f"cell allocated at line {site} is lost here: "
+                        f"no variable still points to it and its "
+                        f"address was never stored",
+                line=node.line))
     return diagnostics
 
 

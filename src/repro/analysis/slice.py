@@ -1,0 +1,215 @@
+"""Statement-level backward slicing of loop-free subgoals.
+
+PR 2's cone of influence (:mod:`repro.analysis.coi`) shrinks a
+subgoal's *alphabet*: tracks of variables that cannot reach an
+obligation are dropped.  This pass shrinks the subgoal's *program*:
+statements whose only effect is a value no obligation can observe are
+removed before symbolic execution, so the transduction wraps fewer
+predicates and the compiled automata stay smaller still.
+
+The slice is computed by per-point backward liveness (the same
+discipline as the ``dead-assignment`` lint, specialised to one
+loop-free triple), seeded with the variables free in the subgoal's
+*check* obligations plus every data variable.  Assume obligations read
+the **initial** store, so — exactly as in the cone-of-influence pass —
+they are irrelevant here: removing a statement never changes what the
+initial store satisfies.
+
+Soundness rules (why a dropped statement cannot change the verdict;
+``docs/ARCHITECTURE.md`` §11 carries the full argument):
+
+* only pure variable copies are droppable — ``v := nil`` or
+  ``v := u`` with a step-free right-hand side.  Dereferencing
+  assignments can *fail* (the ``~error`` conjunct observes them),
+  heap writes change the graph every obligation reads, ``new`` has
+  the ``oom`` outcome and relabels a cell, and ``dispose`` both
+  relabels and can leave dangling pointers;
+* a droppable copy is dropped iff its target is **dead**: not live
+  into any check obligation or any kept later statement.  The final
+  value of ``v`` then only feeds ``wf_graph``'s per-variable target
+  conjunct, which holds either way — without ``dispose`` every value
+  a variable can hold is nil or a correctly-typed cell;
+* nothing is sliced when the statements dispose (mirroring the
+  cone-of-influence rule: ``dispose`` makes *every* variable's final
+  value observable through dangling-pointer well-formedness);
+* a conditional is dropped whole only when both sliced branches are
+  empty **and** its guard cannot fail (every atom is a pointer
+  comparison of step-free paths; a variant test always dereferences).
+  A kept conditional keeps its guard variables live and slices each
+  branch against the join's liveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.analysis.coi import guard_vars
+from repro.pascal.typed import (FieldLhs, TAnd, TAssign, TDispose, TIf,
+                                TNew, TNot, TOr, TPath, TPtrCompare,
+                                VarLhs)
+from repro.stores.schema import Schema
+
+
+@dataclass(frozen=True)
+class SliceResult:
+    """One subgoal's slice: the kept statements and the counts the
+    reports and metrics surface."""
+
+    statements: Tuple[object, ...]
+    #: Statements of the original subgoal, counted recursively.
+    before: int
+    #: Statements of the slice, counted recursively.
+    after: int
+
+    @property
+    def dropped(self) -> int:
+        return self.before - self.after
+
+
+def slice_statements(statements: Sequence[object],
+                     check_seeds: Iterable[str],
+                     schema: Schema) -> SliceResult:
+    """Slice a loop-free statement sequence against the variables the
+    check obligations read (data variables are always live)."""
+    original = tuple(statements)
+    before = statement_count(original)
+    if _disposes(original):
+        return SliceResult(original, before, before)
+    live = frozenset(check_seeds) | frozenset(schema.data_vars)
+    kept, _ = _slice_backward(original, live)
+    return SliceResult(tuple(kept), before, statement_count(kept))
+
+
+def dropped_statements(original: Sequence[object],
+                       kept: Sequence[object]) -> List[object]:
+    """The leaf statements of ``original`` missing from ``kept``, in
+    source order (``repro analyze`` reporting).
+
+    Kept statements appear in ``kept`` in their original order, and
+    leaves are kept by identity; a conditional is matched structurally
+    (the slicer rebuilds it around its sliced branches)."""
+    result: List[object] = []
+    index = 0
+    kept = list(kept)
+    for statement in original:
+        match = kept[index] if index < len(kept) else None
+        if isinstance(statement, TIf):
+            if isinstance(match, TIf) and match.line == statement.line:
+                result += dropped_statements(statement.then_body,
+                                             match.then_body)
+                result += dropped_statements(statement.else_body,
+                                             match.else_body)
+                index += 1
+            else:
+                result += dropped_statements(statement.then_body, ())
+                result += dropped_statements(statement.else_body, ())
+        elif match is statement:
+            index += 1
+        else:
+            result.append(statement)
+    return result
+
+
+def statement_count(statements: Sequence[object]) -> int:
+    """Statements counted recursively (a conditional counts itself
+    plus both branches)."""
+    total = 0
+    for statement in statements:
+        total += 1
+        if isinstance(statement, TIf):
+            total += statement_count(statement.then_body)
+            total += statement_count(statement.else_body)
+    return total
+
+
+def _disposes(statements: Sequence[object]) -> bool:
+    for statement in statements:
+        if isinstance(statement, TDispose):
+            return True
+        if isinstance(statement, TIf) and (
+                _disposes(statement.then_body)
+                or _disposes(statement.else_body)):
+            return True
+    return False
+
+
+def _slice_backward(statements: Sequence[object],
+                    live: FrozenSet[str]
+                    ) -> Tuple[List[object], FrozenSet[str]]:
+    """Slice one straight-line (possibly branching) sequence against
+    the live-out set; returns (kept statements, live-in set)."""
+    kept: List[object] = []
+    for statement in reversed(statements):
+        keep, live = _transfer(statement, live)
+        if keep is not None:
+            kept.append(keep)
+    kept.reverse()
+    return kept, live
+
+
+def _transfer(statement: object, live: FrozenSet[str]):
+    """One backward step: (kept statement or None, live-before)."""
+    if isinstance(statement, TAssign):
+        return _transfer_assign(statement, live)
+    if isinstance(statement, TNew):
+        # new() is never droppable: the oom outcome joins the assume
+        # side and the relabelled cell changes the heap every
+        # obligation reads.  A variable target is still a kill.
+        if isinstance(statement.lhs, VarLhs):
+            return statement, live - {statement.lhs.name}
+        return statement, live | {statement.lhs.cell.var}
+    if isinstance(statement, TDispose):
+        # Only reachable when the caller skipped the dispose guard;
+        # keep it and stay conservative.
+        return statement, live | {statement.path.var}
+    if isinstance(statement, TIf):
+        then_kept, then_live = _slice_backward(statement.then_body, live)
+        else_kept, else_live = _slice_backward(statement.else_body, live)
+        if not then_kept and not else_kept and \
+                _guard_cannot_fail(statement.cond):
+            # Both branches sliced empty and the guard cannot error:
+            # the conditional has no observable effect at all.
+            return None, live
+        replacement = TIf(cond=statement.cond,
+                          then_body=tuple(then_kept),
+                          else_body=tuple(else_kept),
+                          line=statement.line)
+        return replacement, \
+            then_live | else_live | guard_vars(statement.cond)
+    raise TypeError(
+        f"slicing expects loop-free statements, got {statement!r}")
+
+
+def _transfer_assign(statement: TAssign, live: FrozenSet[str]):
+    lhs, rhs = statement.lhs, statement.rhs
+    if isinstance(lhs, FieldLhs):
+        gen = {lhs.cell.var}
+        if rhs is not None:
+            gen.add(rhs.var)
+        return statement, live | gen
+    assert isinstance(lhs, VarLhs)
+    derefs = isinstance(rhs, TPath) and bool(rhs.steps)
+    if not derefs and lhs.name not in live:
+        # A dead pure copy: cannot error, touches no heap edge, and
+        # its value reaches no obligation.  Drop it.
+        return None, live
+    result = live - {lhs.name}
+    if rhs is not None:
+        result = result | {rhs.var}
+    return statement, result
+
+
+def _guard_cannot_fail(guard: object) -> bool:
+    """True when evaluating the guard can never raise a pointer error:
+    every atom compares step-free paths.  A variant test always
+    dereferences its cell, so it can always fail."""
+    if isinstance(guard, TPtrCompare):
+        return not ((guard.left is not None and guard.left.steps)
+                    or (guard.right is not None and guard.right.steps))
+    if isinstance(guard, (TAnd, TOr)):
+        return _guard_cannot_fail(guard.left) and \
+            _guard_cannot_fail(guard.right)
+    if isinstance(guard, TNot):
+        return _guard_cannot_fail(guard.inner)
+    return False

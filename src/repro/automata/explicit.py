@@ -293,7 +293,8 @@ class Dfa:
             missing = self.alphabet - self.delta[q].keys()
             if missing:
                 raise ValueError(
-                    f"state {q} lacks transitions for {sorted(map(str, missing))}")
+                    f"state {q} lacks transitions for "
+                    f"{sorted(map(str, missing))}")
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
         """Membership test."""
@@ -324,7 +325,8 @@ class Dfa:
             src = index[pair]
             in_self = pair[0] in self.accepting
             in_other = pair[1] in other.accepting
-            if (in_self and in_other) if accept_both else (in_self or in_other):
+            if (in_self and in_other) if accept_both \
+                    else (in_self or in_other):
                 accepting.add(src)
             for sym in self.alphabet:
                 target = (self.delta[pair[0]][sym], other.delta[pair[1]][sym])
@@ -423,7 +425,8 @@ class Dfa:
 
         # Hopcroft refinement.
         non_accepting = set(states) - accepting
-        partition: List[Set[int]] = [s for s in (accepting, non_accepting) if s]
+        partition: List[Set[int]] = [s for s in (accepting,
+                                                 non_accepting) if s]
         worklist: List[Set[int]] = [set(s) for s in partition]
         inverse: Dict[Tuple[Symbol, int], Set[int]] = {}
         for q in states:

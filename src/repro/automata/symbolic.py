@@ -88,7 +88,8 @@ class SymbolicDfa:
 
     def step(self, state: int, symbol: Assignment) -> int:
         """The successor of ``state`` under one symbol."""
-        return self.mgr.evaluate(self.delta[state], dict(symbol))  # type: ignore[return-value]
+        result = self.mgr.evaluate(self.delta[state], dict(symbol))
+        return result  # type: ignore[return-value]
 
     def accepts(self, word: Sequence[Assignment]) -> bool:
         """Membership of a word of track assignments."""

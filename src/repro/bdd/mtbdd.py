@@ -187,9 +187,10 @@ class Mtbdd:
         if level == LEAF_LEVEL:
             result = self.leaf(op(lo))
         else:
-            result = self.node(level,
-                               self.map_leaves(op_key, op, lo),  # type: ignore[arg-type]
-                               self.map_leaves(op_key, op, hi))  # type: ignore[arg-type]
+            mapped_lo = self.map_leaves(op_key, op, lo)
+            mapped_hi = self.map_leaves(op_key, op, hi)
+            result = self.node(level, mapped_lo,  # type: ignore[arg-type]
+                               mapped_hi)  # type: ignore[arg-type]
         self._map_memo[key] = result
         return result
 
@@ -213,13 +214,14 @@ class Mtbdd:
         self.restrict_misses += 1
         _budget_tick("bdd.restrict")
         if level in assignment:
-            branch = hi if assignment[level] else lo
-            result = self._restrict(branch, frozen, assignment)  # type: ignore[arg-type]
+            branch: int = hi if assignment[level] else lo
+            result = self._restrict(branch, frozen, assignment)
         else:
-            result = self.node(
-                level,
-                self._restrict(lo, frozen, assignment),   # type: ignore[arg-type]
-                self._restrict(hi, frozen, assignment))   # type: ignore[arg-type]
+            restricted_lo = self._restrict(
+                lo, frozen, assignment)  # type: ignore[arg-type]
+            restricted_hi = self._restrict(
+                hi, frozen, assignment)  # type: ignore[arg-type]
+            result = self.node(level, restricted_lo, restricted_hi)
         self._restrict_memo[key] = result
         return result
 
@@ -234,7 +236,8 @@ class Mtbdd:
         """
         while not self.is_leaf(f):
             level, lo, hi = self._nodes[f]
-            f = hi if assignment.get(level, False) else lo  # type: ignore[assignment]
+            f = (hi if assignment.get(level, False)
+                 else lo)  # type: ignore[assignment]
         return self.leaf_value(f)
 
     def leaves(self, f: int) -> frozenset:
@@ -310,8 +313,8 @@ class Mtbdd:
 
         yield from go(f, {})
 
-    def find_leaf(self, f: int,
-                  want: Callable[[Hashable], bool]) -> Optional[Dict[int, bool]]:
+    def find_leaf(self, f: int, want: Callable[[Hashable], bool]
+                  ) -> Optional[Dict[int, bool]]:
         """A partial assignment reaching some leaf satisfying ``want``.
 
         Returns None when no such leaf is reachable.

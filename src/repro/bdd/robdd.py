@@ -47,7 +47,8 @@ class Bdd:
         self._not_memo: Dict[int, int] = {}
         self._ite_memo: Dict[Tuple[int, int, int], int] = {}
         self._quant_memo: Dict[Tuple[int, int, frozenset], int] = {}
-        self._restrict_memo: Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
+        self._restrict_memo: \
+            Dict[Tuple[int, Tuple[Tuple[int, bool], ...]], int] = {}
         self._compose_memo: Dict[Tuple[int, int, int], int] = {}
         # Always-on cache statistics (plain ints on the hot recursions).
         self.apply_hits = 0

@@ -4,11 +4,15 @@ Usage::
 
     repro-verify verify FILE.pas [--verbose] [--no-simulate]
                                  [--profile] [--trace] [--json]
-                                 [--no-reduce] [--jobs N]
+                                 [--no-reduce] [--no-slice] [--no-order]
+                                 [--cache-dir DIR] [--no-cache]
+                                 [--jobs N]
                                  [--timeout S] [--max-bdd-nodes N]
                                  [--max-states N] [--max-steps N]
-    repro-verify table  [NAME ...] [--json] [--no-reduce] [--jobs N]
-                                   [--keep-going] [budget flags]
+    repro-verify table  [NAME ...] [--json] [--keep-going] [--jobs N]
+                                   [engine flags] [budget flags]
+    repro-verify analyze FILE.pas [--json] [--no-reduce] [--no-slice]
+                                  [--no-order]
     repro-verify lint   FILE.pas [...] [--json] [--strict]
     repro-verify show   NAME            # print a bundled example program
     repro-verify list                   # list the bundled programs
@@ -40,9 +44,24 @@ counterexample, 2 usage or front-end error, 3 degraded (a budget limit
 tripped or an internal error was isolated), 130 interrupted by Ctrl-C
 (with ``--json`` the partial report is still flushed).  ``lint`` exits
 0 when no diagnostics (or only warnings, without ``--strict``) were
-produced, 1 otherwise.  ``--no-reduce`` disables the cone-of-influence
-track reduction (:mod:`repro.analysis.coi`) — an escape hatch and A/B
-switch; results are identical either way.
+produced, 1 otherwise.
+
+Engine escape hatches and A/B switches — verdicts are identical with
+any combination (``tests/diffcheck.py --features`` proves it over the
+whole corpus): ``--no-reduce`` disables the cone-of-influence track
+reduction (:mod:`repro.analysis.coi`); ``--no-slice`` disables the
+statement-level backward slice (:mod:`repro.analysis.slice`);
+``--no-order`` keeps BDD tracks in declaration order instead of the
+dependency-affinity order (:mod:`repro.analysis.order`).
+
+``--cache-dir DIR`` turns on the content-addressed verdict cache
+(:mod:`repro.verify.cache`): decided subgoals are stored under DIR
+keyed by their content fingerprint and replayed on later runs whose
+fingerprints match; ``--no-cache`` ignores ``--cache-dir`` (e.g. to
+force a cold run against a populated directory).  ``repro analyze``
+prints what the engine *would* do per subgoal — slice sizes, dropped
+statements, kept/dropped tracks, chosen order, fingerprint — without
+deciding anything.
 """
 
 from __future__ import annotations
@@ -100,9 +119,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     verify_cmd.add_argument("--json", action="store_true",
                             help="emit the machine-readable JSON run "
                                  "report instead of the text report")
-    verify_cmd.add_argument("--no-reduce", action="store_true",
-                            help="keep every variable track (disable "
-                                 "the cone-of-influence reduction)")
+    _add_engine_flags(verify_cmd)
+    _add_cache_flags(verify_cmd)
     _add_jobs_flag(verify_cmd)
     _add_budget_flags(verify_cmd)
 
@@ -116,15 +134,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     table_cmd.add_argument("--json", action="store_true",
                            help="emit one JSON run report per program "
                                 "instead of the text table")
-    table_cmd.add_argument("--no-reduce", action="store_true",
-                           help="keep every variable track (disable "
-                                "the cone-of-influence reduction)")
+    _add_engine_flags(table_cmd)
+    _add_cache_flags(table_cmd)
     table_cmd.add_argument("--keep-going", action="store_true",
                            help="record a front-end error as an ERROR "
                                 "row and continue with the remaining "
                                 "programs instead of aborting")
     _add_jobs_flag(table_cmd)
     _add_budget_flags(table_cmd)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="report per-subgoal slices, track reductions, "
+                        "orders and cache fingerprints without "
+                        "deciding anything")
+    analyze_cmd.add_argument("file", help="path to the .pas source, or "
+                                          "a bundled program name")
+    analyze_cmd.add_argument("--json", action="store_true",
+                             help="emit the machine-readable JSON "
+                                  "analysis report")
+    _add_engine_flags(analyze_cmd)
 
     lint_cmd = commands.add_parser(
         "lint", help="run the static pointer lints over programs")
@@ -173,6 +201,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
+
+
+def _add_engine_flags(command: argparse.ArgumentParser) -> None:
+    """The verdict-preserving engine switches shared by verify, table
+    and analyze."""
+    command.add_argument("--no-reduce", action="store_true",
+                         help="keep every variable track (disable "
+                              "the cone-of-influence reduction)")
+    command.add_argument("--no-slice", action="store_true",
+                         help="keep every statement (disable the "
+                              "backward statement slice)")
+    command.add_argument("--no-order", action="store_true",
+                         help="keep BDD tracks in declaration order "
+                              "(disable the affinity ordering)")
+
+
+def _add_cache_flags(command: argparse.ArgumentParser) -> None:
+    """The verdict-cache flags shared by verify and table."""
+    command.add_argument("--cache-dir", metavar="DIR",
+                         help="store and replay decided subgoals "
+                              "under DIR, keyed by content "
+                              "fingerprint [default: no caching]")
+    command.add_argument("--no-cache", action="store_true",
+                         help="ignore --cache-dir (force a cold, "
+                              "uncached run)")
+
+
+def _cache_dir(args: argparse.Namespace) -> Optional[str]:
+    return None if args.no_cache else args.cache_dir
 
 
 def _add_jobs_flag(command: argparse.ArgumentParser) -> None:
@@ -253,6 +310,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         tracer = _make_tracer(args)
         result = verify_source(source, simulate=not args.no_simulate,
                                reduce=not args.no_reduce,
+                               slice=not args.no_slice,
+                               order=not args.no_order,
+                               cache_dir=_cache_dir(args),
                                tracer=tracer,
                                jobs=resolve_jobs(args.jobs),
                                **_budget_kwargs(args))
@@ -264,6 +324,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print()
                 print(format_timing_tree(result))
         return _exit_code(result)
+    if args.command == "analyze":
+        return _analyze(args)
     if args.command == "synth":
         return _synthesize(args.formula, args.program)
     raise AssertionError(f"unhandled command {args.command}")
@@ -286,6 +348,9 @@ def _table(args: argparse.Namespace) -> int:
                 source = _load(name)
                 result = verify_source(source,
                                        reduce=not args.no_reduce,
+                                       slice=not args.no_slice,
+                                       order=not args.no_order,
+                                       cache_dir=_cache_dir(args),
                                        **_budget_kwargs(args))
             except KeyboardInterrupt:
                 interrupted = True
@@ -320,11 +385,58 @@ def _table_parallel(names: List[str], jobs: int,
     budget = _budget_kwargs(args)
     options = EngineOptions(
         reduce=not args.no_reduce,
+        slice=not args.no_slice,
+        order=not args.no_order,
+        cache_dir=_cache_dir(args),
         timeout=budget["timeout"],
         max_bdd_nodes=budget["max_bdd_nodes"],
         max_states=budget["max_states"],
         max_steps=budget["max_steps"])
     return run_table(names, options, jobs, keep_going=args.keep_going)
+
+
+def _analyze(args: argparse.Namespace) -> int:
+    """Print the engine's per-subgoal preparation (slices, cones,
+    orders, fingerprints) without deciding anything."""
+    from repro.pascal import check_program, parse_program
+    from repro.verify.engine import Verifier
+
+    program = check_program(parse_program(_load(args.file)))
+    verifier = Verifier(program,
+                        reduce=not args.no_reduce,
+                        slice=not args.no_slice,
+                        order=not args.no_order)
+    report = verifier.analyze()
+    if args.json:
+        import json as _json
+        print(_json.dumps(report, indent=2))
+        return 0
+    options = report["options"]
+    switches = ", ".join(f"{name} {'on' if value else 'off'}"
+                         for name, value in options.items())
+    subgoals = report["subgoals"]
+    print(f"program {report['program']} — {len(subgoals)} subgoal(s) "
+          f"({switches})")
+    for index, entry in enumerate(subgoals):
+        print(f"\n[{index}] {entry['description']}")
+        before, after = (entry["statements_before"],
+                         entry["statements_after"])
+        print(f"  statements: {before} -> {after} "
+              f"(dropped {before - after})")
+        for dropped in entry["dropped_statements"]:
+            print(f"    - line {dropped['line']}: {dropped['text']}")
+        print(f"  tracks: {entry['tracks_before']} -> "
+              f"{entry['tracks_after']}"
+              + (f" (dropped vars: "
+                 f"{', '.join(entry['dropped_vars'])})"
+                 if entry["dropped_vars"] else ""))
+        if entry["variable_order"] is not None:
+            suffix = "" if entry["reordered"] else \
+                " (declaration order)"
+            print(f"  order: "
+                  f"{', '.join(entry['variable_order'])}{suffix}")
+        print(f"  fingerprint: {entry['fingerprint']}")
+    return 0
 
 
 def _lint(files: List[str], as_json: bool, strict: bool) -> int:

@@ -39,7 +39,8 @@ def evaluate(formula: ast.Formula, n: int, env: Dict[ast.Var, Value]) -> bool:
     if isinstance(formula, ast.Mem):
         return env[formula.pos] in env[formula.pset]  # type: ignore[operator]
     if isinstance(formula, ast.Sub):
-        return env[formula.left] <= env[formula.right]  # type: ignore[operator]
+        return (env[formula.left]
+                <= env[formula.right])  # type: ignore[operator]
     if isinstance(formula, ast.EqS) or isinstance(formula, ast.EqF):
         return env[formula.left] == env[formula.right]
     if isinstance(formula, ast.EmptyS):
@@ -49,7 +50,8 @@ def evaluate(formula: ast.Formula, n: int, env: Dict[ast.Var, Value]) -> bool:
     if isinstance(formula, ast.LessF):
         return env[formula.left] < env[formula.right]  # type: ignore[operator]
     if isinstance(formula, ast.SuccF):
-        return env[formula.right] == env[formula.left] + 1  # type: ignore[operator]
+        return (env[formula.right]
+                == env[formula.left] + 1)  # type: ignore[operator]
     if isinstance(formula, ast.FirstF):
         return env[formula.pos] == 0
     if isinstance(formula, ast.LastF):

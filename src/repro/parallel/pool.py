@@ -63,6 +63,9 @@ def engine_options(verifier: Verifier) -> EngineOptions:
         minimize_during=verifier.minimize_during,
         simulate=verifier.simulate,
         reduce=verifier.reduce,
+        slice=verifier.slice,
+        order=verifier.order,
+        cache_dir=verifier.cache_dir,
         retry_alternate=verifier.retry_alternate,
         timeout=verifier.timeout,
         max_bdd_nodes=verifier.max_bdd_nodes,

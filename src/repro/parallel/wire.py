@@ -40,6 +40,9 @@ class EngineOptions:
     minimize_during: bool = True
     simulate: bool = True
     reduce: bool = True
+    slice: bool = True
+    order: bool = True
+    cache_dir: Optional[str] = None
     retry_alternate: bool = True
     timeout: Optional[float] = None
     max_bdd_nodes: Optional[int] = None
@@ -95,6 +98,10 @@ class WireSubgoalResult:
     #: Check-obligation names, so text reports of rebuilt results can
     #: list them even when the parent never split the program.
     checks: Tuple[str, ...] = ()
+    statements_before: int = 0
+    statements_after: int = 0
+    variable_order: Optional[Tuple[str, ...]] = None
+    cache: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -185,6 +192,10 @@ def wire_subgoal_result(index: int,
         span=result.span.to_dict() if result.span is not None else None,
         counterexample=result.counterexample,
         checks=tuple(item.name for item in result.subgoal.check),
+        statements_before=result.statements_before,
+        statements_after=result.statements_after,
+        variable_order=result.variable_order,
+        cache=result.cache,
     )
 
 
@@ -214,6 +225,10 @@ def rebuild_subgoal_result(wire: WireSubgoalResult,
         error=wire.error,
         attempts=wire.attempts,
         budget=wire.budget,
+        statements_before=wire.statements_before,
+        statements_after=wire.statements_after,
+        variable_order=wire.variable_order,
+        cache=wire.cache,
     )
 
 

@@ -51,6 +51,9 @@ def _verifier_for(program: object, options: EngineOptions,
                     minimize_during=options.minimize_during,
                     simulate=options.simulate,
                     reduce=options.reduce,
+                    slice=options.slice,
+                    order=options.order,
+                    cache_dir=options.cache_dir,
                     retry_alternate=options.retry_alternate,
                     tracer=tracer,
                     timeout=timeout,

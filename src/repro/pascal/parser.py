@@ -37,7 +37,8 @@ class _Parser:
             self._index += 1
         return token
 
-    def _error(self, message: str, token: Optional[Token] = None) -> ParseError:
+    def _error(self, message: str,
+               token: Optional[Token] = None) -> ParseError:
         token = token or self._peek()
         return ParseError(f"{message} (found {token})", token.line,
                           token.column)

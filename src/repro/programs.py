@@ -326,6 +326,27 @@ begin
 end.
 """
 
+#: Walk to the last element with a trailing cursor, then clear it.
+#: No annotations: only well-formedness (the system default) is
+#: verified.  The trailing cursor ``t`` feeds no obligation, so every
+#: subgoal's slice drops its copies — the showcase program for the
+#: statement-level backward slice (``repro analyze scan``).
+SCAN = f"""\
+program scan;
+{LIST_TYPES}
+{{data}} var x: List;
+{{pointer}} var p, t: List;
+begin
+  t := x;
+  p := x;
+  while p <> nil do begin
+    t := p;
+    p := p^.next
+  end;
+  t := nil
+end.
+"""
+
 #: Programs the paper reports in the §6 statistics table.
 TABLE_PROGRAMS: Dict[str, str] = {
     "reverse": REVERSE,
@@ -341,6 +362,7 @@ EXTENDED_PROGRAMS: Dict[str, str] = {
     "append": APPEND,
     "split": SPLIT,
     "copy": COPY,
+    "scan": SCAN,
 }
 
 #: All named example programs.

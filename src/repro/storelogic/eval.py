@@ -114,7 +114,8 @@ class _Evaluator:
 
         def go(names: Tuple[str, ...], current: Dict[str, int]) -> bool:
             if not names:
-                return self.formula(node.body, current)  # type: ignore[attr-defined]
+                body = node.body  # type: ignore[attr-defined]
+                return self.formula(body, current)
             name, rest = names[0], names[1:]
             results = (go(rest, {**current, name: ident})
                        for ident in cells)

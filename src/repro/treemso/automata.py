@@ -48,8 +48,9 @@ class TreeDfa:
             return self.empty
         left = self.value(tree.left)
         right = self.value(tree.right)
-        return self.mgr.evaluate(self.delta[(left, right)],  # type: ignore[return-value]
-                                 tree.bits)
+        result = self.mgr.evaluate(self.delta[(left, right)],
+                                   tree.bits)
+        return result  # type: ignore[return-value]
 
     def accepts(self, tree: Optional[Tree]) -> bool:
         """Membership (None is the empty tree)."""
@@ -229,7 +230,8 @@ class TreeDfa:
                     candidate = cost[ql] + cost[qr] + 1
                     if candidate < cost[target]:  # type: ignore[index]
                         cost[target] = candidate  # type: ignore[index]
-                        parent[target] = (ql, qr, dict(assignment))  # type: ignore[index]
+                        parent[target] = \
+                            (ql, qr, dict(assignment))  # type: ignore[index]
                         changed = True
         best = None
         for q in self.accepting:

@@ -1,0 +1,101 @@
+"""The content-addressed verdict cache.
+
+Re-verifying an edited program repeats almost all of its work: only
+the subgoals whose sliced statements or obligations changed can
+decide differently.  This store maps a subgoal's content fingerprint
+(:func:`repro.analysis.fingerprint.subgoal_fingerprint`) to its
+decided result, so a warm run replays every unchanged subgoal from
+disk — the seed of ROADMAP's verification-as-a-service direction.
+
+Design points:
+
+* **values are wire results** — the same flattened, picklable
+  :class:`repro.parallel.wire.WireSubgoalResult` the parallel executor
+  ships between processes, re-inflated against the caller's own
+  ``Subgoal``.  A cache hit therefore renders and serialises exactly
+  like a fresh decision (modulo wall-clock time and the hit marker);
+* **only clean verdicts are stored** — a degraded outcome (timeout,
+  budget, error) or a retry-ladder success under a *different* plan
+  than the configured one says nothing about what the next run would
+  see, so it is never cached;
+* **corruption-tolerant** — any failure to read, unpickle or validate
+  an entry is a miss, never an error (a cache must not be able to
+  break the verifier); writes go through a per-process temporary file
+  and an atomic rename, so a crashed or concurrent run leaves no
+  half-written entry;
+* **versioned** — entries live under a directory named by the cache
+  schema version and the package code fingerprint, so upgrading the
+  code abandons (rather than misreads) old entries; the fingerprint
+  itself additionally covers the engine options and the store schema.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from typing import Optional
+
+from repro.analysis.fingerprint import (CACHE_SCHEMA_VERSION,
+                                        code_fingerprint)
+from repro.obs.metrics import current_metrics
+
+
+class VerdictCache:
+    """An on-disk fingerprint -> wire-result store."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.directory = os.path.join(
+            root, f"v{CACHE_SCHEMA_VERSION}-{code_fingerprint()}")
+
+    # ------------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.pkl")
+
+    def lookup(self, fingerprint: str):
+        """The stored wire result, or None on a miss (including any
+        corrupt, truncated or unreadable entry)."""
+        started = time.perf_counter()
+        try:
+            with open(self._path(fingerprint), "rb") as handle:
+                wire = pickle.load(handle)
+            # Minimal shape check: a foreign object in the store must
+            # read as a miss, not surface later as an attribute error.
+            if not hasattr(wire, "outcome") or \
+                    not hasattr(wire, "stats"):
+                raise ValueError("not a wire subgoal result")
+        except KeyboardInterrupt:
+            raise
+        except Exception:  # noqa: BLE001 — tolerance is the contract
+            current_metrics().counter("verify.cache.misses").inc()
+            return None
+        metrics = current_metrics()
+        metrics.counter("verify.cache.hits").inc()
+        metrics.histogram("verify.cache.lookup_seconds").observe(
+            time.perf_counter() - started)
+        return wire
+
+    def store(self, fingerprint: str, wire: object) -> None:
+        """Persist one wire result; failures are silently dropped (a
+        read-only or full cache directory must not fail the run)."""
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            final = self._path(fingerprint)
+            temporary = f"{final}.{os.getpid()}.tmp"
+            with open(temporary, "wb") as handle:
+                pickle.dump(wire, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(temporary, final)
+        except KeyboardInterrupt:
+            raise
+        except Exception:  # noqa: BLE001 — see docstring
+            return
+        current_metrics().counter("verify.cache.stores").inc()
+
+
+def open_cache(cache_dir: Optional[str]) -> Optional["VerdictCache"]:
+    """A cache rooted at ``cache_dir``, or None when caching is off."""
+    if cache_dir is None:
+        return None
+    return VerdictCache(cache_dir)

@@ -31,6 +31,10 @@ from typing import (Callable, Dict, FrozenSet, List, Optional, Sequence,
                     Tuple)
 
 from repro.analysis.coi import cone_of_influence, guard_vars
+from repro.analysis.fingerprint import subgoal_fingerprint
+from repro.analysis.order import choose_order
+from repro.analysis.slice import (SliceResult, dropped_statements,
+                                  slice_statements, statement_count)
 from repro.errors import ExecutionError, VerificationError
 from repro.mso.ast import Formula
 from repro.mso.build import FormulaBuilder as F
@@ -56,6 +60,7 @@ from repro.symbolic.layout import TrackLayout
 from repro.symbolic.state import SymbolicStore, initial_store
 from repro.symbolic.wf import wf_graph, wf_string
 from repro.exec.interpreter import Interpreter, Trace
+from repro.verify.cache import open_cache
 from repro.verify.counterexample import Counterexample, explain_failure
 
 
@@ -126,6 +131,10 @@ class Obligation:
     #: the program variables the formula mentions (cone-of-influence
     #: seeds; see :mod:`repro.analysis.coi`)
     vars: FrozenSet[str] = frozenset()
+    #: a line-free canonical key of the obligation's condition, used by
+    #: the verdict-cache fingerprint (the display ``name`` embeds line
+    #: numbers and would defeat caching across reflows)
+    key: str = ""
 
 
 @dataclass
@@ -166,6 +175,16 @@ class SubgoalResult:
     #: Budget consumption of this subgoal (steps/seconds/tripped),
     #: None when no budget was active.
     budget: Optional[Dict[str, object]] = None
+    #: Recursive statement counts of the subgoal before and after the
+    #: statement-level backward slice (equal when slicing is off).
+    statements_before: int = 0
+    statements_after: int = 0
+    #: The BDD track order the ordering pass chose for the kept
+    #: program variables, None when the pass was off.
+    variable_order: Optional[Tuple[str, ...]] = None
+    #: Verdict-cache trace (``{"fingerprint": ..., "hit": bool}``) when
+    #: a cache was consulted, else None.
+    cache: Optional[Dict[str, object]] = None
 
     @property
     def description(self) -> str:
@@ -191,6 +210,11 @@ class SubgoalResult:
             "formula_size": self.formula_size,
             "tracks_before": self.tracks_before,
             "tracks_after": self.tracks_after,
+            "statements_before": self.statements_before,
+            "statements_after": self.statements_after,
+            "variable_order": (None if self.variable_order is None
+                               else list(self.variable_order)),
+            "cache": self.cache,
             "stats": self.stats.to_dict(),
             "span": self.span.to_dict() if self.span else None,
             "counterexample": counterexample,
@@ -276,6 +300,22 @@ class VerificationResult:
         return max((result.tracks_after for result in self.results),
                    default=0)
 
+    @property
+    def statements_before(self) -> int:
+        """Statements collected into subgoals (sum, recursive count)."""
+        return sum(result.statements_before for result in self.results)
+
+    @property
+    def statements_after(self) -> int:
+        """Statements kept by the backward slice (sum)."""
+        return sum(result.statements_after for result in self.results)
+
+    @property
+    def cache_hits(self) -> int:
+        """Subgoals answered from the verdict cache."""
+        return sum(1 for result in self.results
+                   if result.cache is not None and result.cache["hit"])
+
     def aggregate_stats(self) -> CompilationStats:
         """All subgoal statistics merged into one record (counters
         summed, high-water marks maximised)."""
@@ -311,9 +351,48 @@ class VerificationResult:
             "max_nodes": self.max_nodes,
             "tracks_before": self.tracks_before,
             "tracks_after": self.tracks_after,
+            "statements_before": self.statements_before,
+            "statements_after": self.statements_after,
+            "cache_hits": self.cache_hits,
             "stats": self.aggregate_stats().to_dict(),
             "subgoals": [result.to_dict() for result in self.results],
         }
+
+
+@dataclass
+class SubgoalPlan:
+    """One prepared decision attempt: the (possibly sliced) statements
+    to execute symbolically and how to lay out the tracks."""
+
+    #: apply the cone-of-influence alphabet reduction
+    reduce: bool
+    #: the statement slice (the identity slice when slicing is off)
+    sliced: SliceResult
+    #: the cone-of-influence variable subset, None for the full
+    #: alphabet
+    keep: Optional[FrozenSet[str]]
+    #: the chosen track order, None for declaration order
+    variable_order: Optional[Tuple[str, ...]]
+    #: True when the chosen order differs from declaration order
+    order_changed: bool = False
+
+    @property
+    def statements(self) -> Tuple[object, ...]:
+        return self.sliced.statements
+
+    def layout(self, schema) -> TrackLayout:
+        return TrackLayout(schema, variables=self.keep,
+                           order=self.variable_order)
+
+
+def _trace_mode() -> str:
+    """The active tracer's mode, as a cache-fingerprint component: a
+    cached result carries its recorded span, so a hit must have been
+    computed under the same tracing configuration."""
+    tracer = obs_trace.current_tracer()
+    if tracer is obs_trace.NULL_TRACER:
+        return "off"
+    return "detail" if getattr(tracer, "detail", False) else "on"
 
 
 def verify_source(text: str, **kwargs: object) -> VerificationResult:
@@ -341,6 +420,19 @@ class Verifier:
             subgoal's cone of influence (:mod:`repro.analysis.coi`).
             Verdicts and counterexamples are unaffected; automata only
             get smaller.  ``--no-reduce`` on the CLI turns it off.
+        slice: drop dead pure-copy statements from each subgoal before
+            symbolic execution (:mod:`repro.analysis.slice`).  Verdicts
+            are unaffected (``docs/ARCHITECTURE.md`` §11); the
+            transduction just wraps fewer predicates.  ``--no-slice``
+            on the CLI turns it off.
+        order: register BDD tracks in dependency-affinity order
+            instead of declaration order (:mod:`repro.analysis.order`).
+            Renames BDD levels only; ``--no-order`` turns it off.
+        cache_dir: root of an on-disk verdict cache
+            (:mod:`repro.verify.cache`); subgoals whose content
+            fingerprint is already stored replay their decided result
+            instead of recomputing it.  None (the default) disables
+            caching.
         tracer: record phase spans into this tracer for the duration
             of :meth:`verify` (None leaves the process's active tracer
             in charge — usually the no-op sink).
@@ -367,6 +459,9 @@ class Verifier:
                  simulate: bool = True,
                  stop_at_first_failure: bool = False,
                  reduce: bool = True,
+                 slice: bool = True,
+                 order: bool = True,
+                 cache_dir: Optional[str] = None,
                  tracer: Optional[obs_trace.Tracer] = None,
                  timeout: Optional[float] = None,
                  max_bdd_nodes: Optional[int] = None,
@@ -378,6 +473,10 @@ class Verifier:
         self.minimize_during = minimize_during
         self.simulate = simulate
         self.reduce = reduce
+        self.slice = slice
+        self.order = order
+        self.cache_dir = cache_dir
+        self.cache = open_cache(cache_dir)
         self.stop_at_first_failure = stop_at_first_failure
         self.tracer = tracer
         self.timeout = timeout
@@ -568,7 +667,9 @@ class Verifier:
             name=f"{name}: {{{text}}}",
             producer=lambda st, f=formula: translate_formula(f, st),
             concrete=lambda store, f=formula: eval_formula(f, store),
-            vars=free_program_vars(formula))
+            vars=free_program_vars(formula),
+            key=("assert:true" if annotation is None
+                 else f"assert:{annotation.text}"))
 
     def _guard_obligation(self, loop: TWhile, safe: bool = False,
                           value: Optional[bool] = None) -> Obligation:
@@ -593,7 +694,8 @@ class Verifier:
             f"guard is {'true' if value else 'false'}"
         return Obligation(name=f"{kind}: {loop.cond}",
                           producer=producer, concrete=concrete,
-                          vars=guard_vars(loop.cond))
+                          vars=guard_vars(loop.cond),
+                          key=f"guard:{kind}:{loop.cond}")
 
     def _eval_guard_cached(self, st: SymbolicStore,
                            loop: TWhile) -> Tuple[Formula, Formula]:
@@ -613,51 +715,193 @@ class Verifier:
     # Deciding one subgoal
     # ------------------------------------------------------------------
 
-    def _subgoal_layout(self, subgoal: Subgoal,
-                        reduce: bool) -> TrackLayout:
-        """The track layout for one subgoal: the full alphabet, or the
-        cone-of-influence subset when reduction is on."""
+    def _plan_subgoal(self, subgoal: Subgoal, reduce: bool,
+                      slice_flag: bool, order_flag: bool) -> SubgoalPlan:
+        """Prepare one decision attempt: slice the statements, compute
+        the cone of influence of the *slice*, and choose the track
+        order for the kept variables."""
         schema = self.program.schema
-        if not reduce:
-            return TrackLayout(schema)
         # Assume obligations are evaluated on the initial store, so
         # their variables must keep their tracks no matter what the
         # statements later overwrite; only check obligations (read
-        # from the final store) flow backward through kills.
+        # from the final store) flow backward through kills — the
+        # same asymmetry drives the statement slice.
         assume_vars: FrozenSet[str] = frozenset()
         for obligation in subgoal.assume:
             assume_vars |= obligation.vars
         check_vars: FrozenSet[str] = frozenset()
         for obligation in subgoal.check:
             check_vars |= obligation.vars
-        keep = cone_of_influence(subgoal.statements, check_vars,
-                                 schema, assume_seeds=assume_vars)
-        return TrackLayout(schema, variables=keep)
+        if slice_flag:
+            sliced = slice_statements(subgoal.statements, check_vars,
+                                      schema)
+        else:
+            count = statement_count(subgoal.statements)
+            sliced = SliceResult(tuple(subgoal.statements), count, count)
+        keep: Optional[FrozenSet[str]] = None
+        if reduce:
+            keep = cone_of_influence(sliced.statements, check_vars,
+                                     schema, assume_seeds=assume_vars)
+        variable_order: Optional[Tuple[str, ...]] = None
+        order_changed = False
+        if order_flag:
+            kept = (frozenset(schema.all_vars()) if keep is None
+                    else frozenset(keep)) | frozenset(schema.data_vars)
+            obligation_vars = [item.vars for item in
+                               subgoal.assume + subgoal.check]
+            variable_order = choose_order(sliced.statements,
+                                          obligation_vars, schema, kept)
+            declared = tuple(name for name in schema.all_vars()
+                             if name in set(variable_order))
+            order_changed = variable_order != declared
+        return SubgoalPlan(reduce=reduce, sliced=sliced, keep=keep,
+                           variable_order=variable_order,
+                           order_changed=order_changed)
+
+    def _fingerprint(self, subgoal: Subgoal, plan: SubgoalPlan) -> str:
+        """The verdict-cache key of one subgoal under this engine's
+        configuration.  Hashes the *original* statements — the slice,
+        cone and order are deterministic functions of them (and the
+        code fingerprint covers the functions themselves), while the
+        counterexample simulation reads the originals directly."""
+        options = (
+            f"minimize={self.minimize_during}",
+            f"simulate={self.simulate}",
+            f"reduce={plan.reduce}",
+            f"slice={self.slice}",
+            f"order={self.order}",
+            f"trace={_trace_mode()}",
+        )
+        return subgoal_fingerprint(
+            self.program.schema, subgoal.statements,
+            [item.key for item in subgoal.assume],
+            [item.key for item in subgoal.check],
+            options)
+
+    def _cached_result(self, subgoal: Subgoal, fingerprint: str,
+                       budget: Optional[Budget],
+                       started: float) -> Optional[SubgoalResult]:
+        """Replay a stored verdict, or None on a miss."""
+        assert self.cache is not None
+        wire = self.cache.lookup(fingerprint)
+        if wire is None:
+            return None
+        # Deferred: wire.py imports this module at load time.
+        from repro.parallel.wire import rebuild_subgoal_result
+        try:
+            result = rebuild_subgoal_result(wire, subgoal)
+        except KeyboardInterrupt:
+            raise
+        except Exception:  # noqa: BLE001 — a bad entry is a miss
+            current_metrics().counter(
+                "verify.cache.rebuild_errors").inc()
+            return None
+        if not result.outcome.decided:
+            return None
+        elapsed = time.perf_counter() - started
+        result.seconds = elapsed
+        result.cache = {"fingerprint": fingerprint, "hit": True}
+        result.budget = None
+        if budget is not None:
+            result.budget = {"steps": 0, "seconds": elapsed,
+                             "tripped": None}
+        return result
+
+    def _store_result(self, fingerprint: str,
+                      result: SubgoalResult) -> None:
+        assert self.cache is not None
+        from repro.parallel.wire import wire_subgoal_result
+        try:
+            wire = wire_subgoal_result(0, result)
+        except KeyboardInterrupt:
+            raise
+        except Exception:  # noqa: BLE001 — caching must never fail
+            return
+        self.cache.store(fingerprint, wire)
+
+    def analyze(self) -> Dict[str, object]:
+        """The static per-subgoal preparation report behind
+        ``repro analyze``: what the slice keeps and drops, which
+        tracks the cone of influence removes, the chosen track order
+        and the verdict-cache fingerprint.  Pure front-end work — no
+        automata are built, nothing is decided."""
+        schema = self.program.schema
+        entries: List[Dict[str, object]] = []
+        for subgoal in self.collect_subgoals():
+            plan = self._plan_subgoal(subgoal, self.reduce, self.slice,
+                                      self.order)
+            layout = plan.layout(schema)
+            dropped = dropped_statements(subgoal.statements,
+                                         plan.statements)
+            entries.append({
+                "description": subgoal.description,
+                "statements_before": plan.sliced.before,
+                "statements_after": plan.sliced.after,
+                "dropped_statements": [
+                    {"line": getattr(statement, "line", 0),
+                     "text": str(statement)}
+                    for statement in dropped],
+                "tracks_before": (len(layout.labels)
+                                  + len(schema.all_vars())),
+                "tracks_after": len(layout.free_vars()),
+                "kept_vars": layout.var_names(),
+                "dropped_vars": layout.dropped_vars(),
+                "variable_order": (None if plan.variable_order is None
+                                   else list(plan.variable_order)),
+                "reordered": plan.order_changed,
+                "fingerprint": self._fingerprint(subgoal, plan),
+            })
+        return {
+            "schema_version": 1,
+            "program": self.program.name,
+            "options": {"reduce": self.reduce, "slice": self.slice,
+                        "order": self.order},
+            "subgoals": entries,
+        }
 
     def decide(self, subgoal: Subgoal) -> SubgoalResult:
         """Decide one subgoal under the degradation ladder.
 
-        The first attempt runs with the configured cone-of-influence
-        setting; when it trips a budget cap or raises, the subgoal is
-        retried once with the reduction toggled (``retry_alternate``).
-        A passed wall-clock deadline skips the retry — the second
-        attempt could only time out again.  A subgoal that no attempt
-        could decide is recorded with a degraded :class:`Outcome`
-        instead of aborting the run.
+        The first attempt runs with the configured optimisations
+        (reduction, slicing, ordering); when it trips a budget cap or
+        raises, the subgoal is retried once with the reduction toggled
+        and slicing/ordering off (``retry_alternate``).  A passed
+        wall-clock deadline skips the retry — the second attempt could
+        only time out again.  A subgoal that no attempt could decide
+        is recorded with a degraded :class:`Outcome` instead of
+        aborting the run.
+
+        With a verdict cache configured, the subgoal's content
+        fingerprint is looked up first; a hit replays the stored
+        result.  Only first-attempt decided verdicts are stored — a
+        degraded outcome or a retry-ladder success under a different
+        plan says nothing about what the next run would compute.
         """
         budget = self._budget
         steps_before = budget.steps if budget is not None else 0
         started = time.perf_counter()
-        plans = [self.reduce]
+        plans = [self._plan_subgoal(subgoal, self.reduce, self.slice,
+                                    self.order)]
         if self.retry_alternate:
-            plans.append(not self.reduce)
+            # The fallback rung toggles the reduction and turns the
+            # other optimisations off — maximally different from the
+            # first attempt.
+            plans.append(self._plan_subgoal(subgoal, not self.reduce,
+                                            False, False))
+        fingerprint: Optional[str] = None
+        if self.cache is not None:
+            fingerprint = self._fingerprint(subgoal, plans[0])
+            cached = self._cached_result(subgoal, fingerprint, budget,
+                                         started)
+            if cached is not None:
+                return cached
         last_exc: Optional[BaseException] = None
         attempts = 0
-        for reduce_flag in plans:
+        for plan in plans:
             attempts += 1
             try:
                 faults.fire("verify.decide")
-                result = self._decide_attempt(subgoal, reduce_flag)
+                result = self._decide_attempt(subgoal, plan)
             except KeyboardInterrupt:
                 raise
             except BudgetExceeded as exc:
@@ -679,6 +923,11 @@ class Verifier:
                     "seconds": result.seconds,
                     "tripped": None,
                 }
+            if fingerprint is not None:
+                result.cache = {"fingerprint": fingerprint,
+                                "hit": False}
+                if attempts == 1 and result.outcome.decided:
+                    self._store_result(fingerprint, result)
             return result
         elapsed = time.perf_counter() - started
         assert last_exc is not None
@@ -699,10 +948,13 @@ class Verifier:
                              formula_size=0, seconds=elapsed,
                              outcome=outcome,
                              error=_describe_exception(last_exc),
-                             attempts=attempts, budget=consumed)
+                             attempts=attempts, budget=consumed,
+                             cache=(None if fingerprint is None else
+                                    {"fingerprint": fingerprint,
+                                     "hit": False}))
 
     def _decide_attempt(self, subgoal: Subgoal,
-                        reduce: bool) -> SubgoalResult:
+                        plan: SubgoalPlan) -> SubgoalResult:
         """Decide one loop-free triple completely (a single ladder
         attempt; fresh compiler and BDD manager each time)."""
         started = time.perf_counter()
@@ -710,20 +962,28 @@ class Verifier:
                             description=subgoal.description) as sub:
             schema = self.program.schema
             compiler = Compiler(minimize_during=self.minimize_during)
-            layout = self._subgoal_layout(subgoal, reduce)
+            layout = plan.layout(schema)
             tracks_before = len(layout.labels) + len(schema.all_vars())
             tracks_after = len(layout.free_vars())
-            current_metrics().counter("verify.tracks_dropped").inc(
+            metrics = current_metrics()
+            metrics.counter("verify.tracks_dropped").inc(
                 tracks_before - tracks_after)
+            metrics.counter("verify.slice.statements_dropped").inc(
+                plan.sliced.dropped)
+            if plan.order_changed:
+                metrics.counter("verify.order.reordered").inc()
             if sub:
                 sub.annotate(tracks_before=tracks_before,
-                             tracks_after=tracks_after)
+                             tracks_after=tracks_after,
+                             statements_before=plan.sliced.before,
+                             statements_after=plan.sliced.after,
+                             reordered=plan.order_changed)
             layout.register(compiler)
             st0 = initial_store(schema, layout)
             with obs_trace.span("exec.symbolic") as sp:
-                outcome = exec_statements(st0, subgoal.statements)
+                outcome = exec_statements(st0, plan.statements)
                 if sp:
-                    sp.annotate(statements=len(subgoal.statements))
+                    sp.annotate(statements=len(plan.statements))
             with obs_trace.span("translate") as sp:
                 assume = F.conj(
                     [wf_string(layout)]
@@ -764,7 +1024,10 @@ class Verifier:
                              formula_size=formula_size, seconds=elapsed,
                              span=sub if sub else None,
                              tracks_before=tracks_before,
-                             tracks_after=tracks_after)
+                             tracks_after=tracks_after,
+                             statements_before=plan.sliced.before,
+                             statements_after=plan.sliced.after,
+                             variable_order=plan.variable_order)
 
     # ------------------------------------------------------------------
     # Counterexamples

@@ -66,6 +66,14 @@ def format_result(result: VerificationResult,
         extra = ""
         if subgoal_result.attempts > 1:
             extra = f", {subgoal_result.attempts} attempts"
+        if subgoal_result.statements_after < \
+                subgoal_result.statements_before:
+            extra += (f", sliced "
+                      f"{subgoal_result.statements_before}->"
+                      f"{subgoal_result.statements_after}")
+        if subgoal_result.cache is not None and \
+                subgoal_result.cache["hit"]:
+            extra += ", cached"
         lines.append(f"  [{mark}] {subgoal_result.description} "
                      f"({subgoal_result.seconds:.2f}s, "
                      f"{subgoal_result.stats.max_states} states"

@@ -16,7 +16,15 @@ engines — by cross-checking verdicts against the reference procedure:
   injected faults and 1-second budgets with workers enabled, and
   asserts every run still degrades structurally: no raw traceback on
   stderr, only structured outcomes in the report, and no orphaned
-  worker process after the run.
+  worker process after the run;
+* a **feature mode** (``--features``) cross-checks the engine's
+  verdict-preserving optimisations the same way: every program with
+  statement slicing + track ordering + a cold verdict cache, then a
+  warm cache replay, against the same run with the optimisations off
+  — verdicts, outcomes and failure presence must be identical (the
+  comparison is verdict-level: ordering legitimately changes which
+  same-length counterexample the BFS finds first), and the warm run
+  must answer every subgoal from the cache.
 
 Usable three ways: imported by the pytest suite (a fast subset), run
 as a script by CI's ``parallel-smoke`` job (the full corpus), or run
@@ -24,6 +32,7 @@ by hand while hacking on the executor::
 
     PYTHONPATH=src:tests python tests/diffcheck.py --jobs 2 4
     PYTHONPATH=src:tests python tests/diffcheck.py --stress --seed 1997
+    PYTHONPATH=src:tests python tests/diffcheck.py --features
 """
 
 from __future__ import annotations
@@ -44,8 +53,10 @@ from repro.robust import faults
 
 #: Keys whose values legitimately differ between runs: wall-clock
 #: durations (top-level, per subgoal, per span, inside budget
-#: consumption records, and as span annotations).
-VOLATILE_KEYS = frozenset({"seconds"})
+#: consumption records, and as span annotations) and verdict-cache
+#: bookkeeping (a sequential reference run warms the cache the
+#: parallel run then hits).
+VOLATILE_KEYS = frozenset({"seconds", "cache", "cache_hits"})
 
 #: Outcomes a degraded-but-structured run may report.
 STRUCTURED_OUTCOMES = frozenset({
@@ -188,6 +199,85 @@ def diff_corpus(names: Optional[Sequence[str]] = None,
 
 
 # ----------------------------------------------------------------------
+# Feature mode: optimisations on (+cache cold/warm) vs off
+# ----------------------------------------------------------------------
+
+def verdict_view(document):
+    """The verdict-level projection used for feature comparisons.
+
+    Slicing, ordering and caching may change automaton sizes, spans,
+    timings and which of several same-length counterexamples the BFS
+    reports first — but never verdicts, outcomes, or whether a
+    counterexample exists.
+    """
+    if document is None:
+        return None
+    return {
+        "program": document.get("program"),
+        "valid": document.get("valid"),
+        "outcome": document.get("outcome"),
+        "interrupted": document.get("interrupted"),
+        "subgoals": [
+            {"description": subgoal.get("description"),
+             "valid": subgoal.get("valid"),
+             "outcome": subgoal.get("outcome"),
+             "has_counterexample":
+                 subgoal.get("counterexample") is not None}
+            for subgoal in document.get("subgoals", ())],
+    }
+
+
+def diff_features(name: str, jobs: int, cache_dir: str) -> List[str]:
+    """Compare optimisations-off against optimisations-on with a cold
+    then a warm verdict cache, at the given parallelism."""
+    jobs_args = [] if jobs <= 1 else ["-j", str(jobs)]
+    off_code, off_doc, _ = run_cli_json(
+        ["verify", name, "--json", "--no-slice", "--no-order",
+         *jobs_args])
+    cold = run_cli_json(["verify", name, "--json",
+                         "--cache-dir", cache_dir, *jobs_args])
+    warm = run_cli_json(["verify", name, "--json",
+                         "--cache-dir", cache_dir, *jobs_args])
+    assert_no_orphans()
+    mismatches: List[str] = []
+    reference = verdict_view(off_doc)
+    for label, (code, document, _) in (("cold-cache", cold),
+                                       ("warm-cache", warm)):
+        if code != off_code:
+            mismatches.append(f"{name} {label} -j {jobs}: exit code "
+                              f"{code} != {off_code} (features off)")
+        if verdict_view(document) != reference:
+            mismatches.append(f"{name} {label} -j {jobs}: verdicts "
+                              f"differ from the features-off run")
+    warm_doc = warm[1]
+    if warm_doc is not None:
+        subgoals = warm_doc.get("subgoals", ())
+        hits = warm_doc.get("cache_hits", 0)
+        if hits != len(subgoals):
+            mismatches.append(f"{name} warm-cache -j {jobs}: only "
+                              f"{hits} of {len(subgoals)} subgoals "
+                              f"answered from the cache")
+    return mismatches
+
+
+def diff_features_corpus(names: Optional[Sequence[str]] = None,
+                         jobs_list: Sequence[int] = (1, 2)
+                         ) -> List[str]:
+    """The feature sweep: every program, sequential and parallel,
+    sharing one cache directory (fingerprints disambiguate)."""
+    import tempfile
+
+    names = list(names or ALL_PROGRAMS)
+    mismatches: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="diffcheck-cache-") as root:
+        for jobs in jobs_list:
+            cache_dir = os.path.join(root, f"j{jobs}")
+            for name in names:
+                mismatches.extend(diff_features(name, jobs, cache_dir))
+    return mismatches
+
+
+# ----------------------------------------------------------------------
 # Stress mode: faults + tight budgets under parallelism
 # ----------------------------------------------------------------------
 
@@ -251,9 +341,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="program subset (default: whole corpus)")
     parser.add_argument("--stress", action="store_true",
                         help="also run the seeded fault/budget storm")
+    parser.add_argument("--features", action="store_true",
+                        help="run the feature sweep instead: "
+                             "slicing/ordering/caching on (cold and "
+                             "warm cache) vs off, verdict-for-verdict")
     parser.add_argument("--seed", type=int, default=1997)
     parser.add_argument("--rounds", type=int, default=8)
     args = parser.parse_args(argv)
+
+    count = len(ALL_PROGRAMS) if args.names is None else len(args.names)
+    if args.features:
+        jobs_list = sorted({1, *args.jobs})
+        mismatches = diff_features_corpus(args.names,
+                                          jobs_list=jobs_list)
+        for line in mismatches:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        print(f"feature sweep: {count} programs x jobs {jobs_list}: "
+              f"{'OK' if not mismatches else f'{len(mismatches)} mismatches'}")
+        return 1 if mismatches else 0
 
     mismatches = diff_corpus(args.names, jobs_list=args.jobs)
     for line in mismatches:

@@ -11,10 +11,14 @@ def typed(name):
 
 
 def subgoal_layouts(name):
-    """description -> kept variable names, per subgoal."""
-    verifier = Verifier(typed(name))
+    """description -> kept variable names, per subgoal (ordering off,
+    so membership checks see declaration order)."""
+    verifier = Verifier(typed(name), order=False)
+    schema = verifier.program.schema
     return {subgoal.description:
-            verifier._subgoal_layout(subgoal, verifier.reduce).var_names()
+            verifier._plan_subgoal(subgoal, verifier.reduce,
+                                   verifier.slice, False)
+                    .layout(schema).var_names()
             for subgoal in verifier.collect_subgoals()}
 
 
@@ -94,7 +98,9 @@ class TestVerifierLayouts:
 
     def test_no_reduce_keeps_everything(self):
         verifier = Verifier(typed("reverse"), reduce=False)
+        schema = verifier.program.schema
         for subgoal in verifier.collect_subgoals():
-            layout = verifier._subgoal_layout(subgoal, reduce=False)
+            plan = verifier._plan_subgoal(subgoal, False, False, False)
+            layout = plan.layout(schema)
             assert layout.var_names() == ["x", "y", "p"]
             assert layout.dropped_vars() == []

@@ -169,6 +169,54 @@ class TestBadAssertion:
         assert "bad-assertion" not in codes(found)
 
 
+class TestLostCell:
+    def test_overwrite_last_reference(self):
+        found = lint("begin\n  new(p, red);\n  p := nil\nend.\n")
+        assert "lost-cell" in codes(found)
+        diagnostic = next(d for d in found if d.code == "lost-cell")
+        assert diagnostic.severity is Severity.ERROR
+        assert diagnostic.line == 10
+        assert "line 9" in diagnostic.message
+
+    def test_reallocation_leaks_previous_cell(self):
+        found = lint("begin\n  new(p, red);\n  new(p, blue);\n"
+                     "  q := p\nend.\n")
+        lost = [d for d in found if d.code == "lost-cell"]
+        assert [d.line for d in lost] == [10]
+        assert "line 9" in lost[0].message
+
+    def test_negative_surviving_alias(self):
+        found = lint("begin\n  new(p, red);\n  q := p;\n"
+                     "  p := nil;\n  x := q\nend.\n")
+        assert "lost-cell" not in codes(found)
+
+    def test_negative_escaped_through_heap(self):
+        # p^.next := p publishes the address; the heap may be the
+        # only remaining route, so overwriting p is not a leak.
+        found = lint("begin\n  new(p, red);\n  p^.next := p;\n"
+                     "  p := nil\nend.\n")
+        assert "lost-cell" not in codes(found)
+
+    def test_negative_disposed_before_overwrite(self):
+        found = lint("begin\n  new(p, red);\n  dispose(p, red);\n"
+                     "  p := nil\nend.\n")
+        assert "lost-cell" not in codes(found)
+
+    def test_negative_may_alias_on_one_branch(self):
+        # The may-set keeps q after the join, so no definite leak.
+        found = lint("begin\n  new(p, red);\n"
+                     "  if x = nil then q := p else q := nil;\n"
+                     "  p := nil;\n  x := q\nend.\n")
+        assert "lost-cell" not in codes(found)
+
+    def test_negative_allocation_into_heap_field(self):
+        # A cell allocated at p^.next is heap-reachable by
+        # construction; nothing to track.
+        found = lint("begin\n  new(p, red);\n  new(p^.next, red);\n"
+                     "  q := p\nend.\n")
+        assert "lost-cell" not in codes(found)
+
+
 class TestFrontEnd:
     def test_parse_error_becomes_diagnostic(self):
         found = lint_source("program broken; begin x := ; end.")

@@ -338,6 +338,129 @@ class TestLint:
         assert "front-end" in capsys.readouterr().out
 
 
+class TestAnalyze:
+    def test_text_report_shows_slice_and_order(self, capsys):
+        assert main(["analyze", "scan"]) == 0
+        out = capsys.readouterr().out
+        assert "program scan" in out
+        assert "statements: " in out
+        assert "- line " in out  # scan's dead copies of t
+        assert "tracks: " in out
+        assert "fingerprint: " in out
+
+    def test_json_report(self, capsys):
+        assert main(["analyze", "scan", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+        assert document["program"] == "scan"
+        assert document["options"] == {"reduce": True, "slice": True,
+                                       "order": True}
+        assert document["subgoals"]
+        assert any(entry["statements_after"] <
+                   entry["statements_before"]
+                   for entry in document["subgoals"])
+        for entry in document["subgoals"]:
+            assert len(entry["fingerprint"]) == 64
+            dropped = (entry["statements_before"]
+                       - entry["statements_after"])
+            assert len(entry["dropped_statements"]) == dropped
+
+    def test_no_slice_drops_nothing(self, capsys):
+        assert main(["analyze", "scan", "--json",
+                     "--no-slice"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        for entry in document["subgoals"]:
+            assert entry["statements_after"] == \
+                entry["statements_before"]
+            assert entry["dropped_statements"] == []
+
+    def test_no_order_is_declaration_order(self, capsys):
+        assert main(["analyze", "scan", "--json",
+                     "--no-order"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert all(not entry["reordered"]
+                   for entry in document["subgoals"])
+
+    def test_analyze_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.pas"
+        path.write_text(ALL_PROGRAMS["reverse"])
+        assert main(["analyze", str(path)]) == 0
+        assert "subgoal(s)" in capsys.readouterr().out
+
+
+class TestCacheFlags:
+    def test_cold_then_warm_verify(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", cache]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cache_hits"] == 0
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", cache]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["valid"] is True
+        assert warm["cache_hits"] == len(warm["subgoals"])
+        assert warm["stats"] == cold["stats"]
+        for subgoal in warm["subgoals"]:
+            assert subgoal["cache"]["hit"] is True
+
+    def test_no_cache_forces_cold_run(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", cache, "--no-cache"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["cache_hits"] == 0
+        for subgoal in document["subgoals"]:
+            assert subgoal["cache"] is None
+
+    def test_corrupt_cache_is_ignored(self, tmp_path, capsys):
+        import pathlib
+        cache = tmp_path / "cache"
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        entries = list(pathlib.Path(cache).rglob("*.pkl"))
+        assert entries
+        for entry in entries:
+            entry.write_bytes(b"garbage")
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", str(cache)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["valid"] is True
+        assert document["cache_hits"] == 0
+
+    def test_warm_hit_marked_in_text_report(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["verify", "scan", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["verify", "scan", "--cache-dir", cache]) == 0
+        assert ", cached" in capsys.readouterr().out
+
+    def test_table_cache_flags(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["table", "searchwf", "--json",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["table", "searchwf", "--json",
+                     "--cache-dir", cache]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        assert documents[0]["cache_hits"] == \
+            len(documents[0]["subgoals"])
+
+    def test_parallel_workers_share_the_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", cache, "-j", "2"]) == 0
+        capsys.readouterr()
+        assert main(["verify", "scan", "--json",
+                     "--cache-dir", cache, "-j", "2"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["cache_hits"] == len(document["subgoals"])
+
+
 class TestNoReduce:
     def test_verify_no_reduce(self, capsys):
         assert main(["verify", "searchwf", "--no-reduce", "--json"]) == 0

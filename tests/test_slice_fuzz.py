@@ -1,0 +1,108 @@
+"""Randomized soundness checks for the verdict-preserving passes.
+
+Generates small random pointer programs (seeded, so runs are
+deterministic) and asserts the engine decides each one identically
+with statement slicing on vs off and with dependency ordering on vs
+declaration order.  Counterexample *presence* must agree too; the
+ordering pass may legally change which same-length witness the BFS
+reports first, so the witness itself is not compared.
+"""
+
+import random
+
+import pytest
+
+from repro.pascal import check_program, parse_program
+from repro.verify.engine import Verifier
+
+HEADER = """\
+program fuzz;
+type
+  Color = (red, blue);
+  List = ^Item;
+  Item = record case tag: Color of red, blue: (next: List) end;
+{data} var x: List;
+{pointer} var p, q: List;
+begin
+"""
+
+#: Straight-line statements over the header's variables: pure copies
+#: (sliceable), dereferences and heap writes (failable), allocation.
+_STATEMENTS = [
+    "p := nil",
+    "q := nil",
+    "p := x",
+    "q := x",
+    "p := q",
+    "q := p",
+    "p := x^.next",
+    "q := p^.next",
+    "p^.next := nil",
+    "p^.next := q",
+    "new(p, red)",
+    "new(q, blue)",
+]
+
+_GUARDS = ["p = nil", "p <> nil", "p = q", "x <> nil"]
+
+_POSTCONDITIONS = [
+    None,
+    "{p = nil}",
+    "{p <> nil}",
+    "{x = x}",
+    "{x<next*>p}",
+    "{x<next*>q & q <> nil}",
+]
+
+
+def generate(rng: random.Random) -> str:
+    lines = []
+    for _ in range(rng.randrange(2, 7)):
+        roll = rng.random()
+        if roll < 0.2:
+            guard = rng.choice(_GUARDS)
+            then = rng.choice(_STATEMENTS)
+            other = rng.choice(_STATEMENTS)
+            lines.append(f"  if {guard} then {then} else {other};")
+        elif roll < 0.3:
+            lines.append("  while p <> nil do p := p^.next;")
+        else:
+            lines.append(f"  {rng.choice(_STATEMENTS)};")
+    lines[-1] = lines[-1].rstrip(";")
+    postcondition = rng.choice(_POSTCONDITIONS)
+    if postcondition is not None:
+        lines.append(f"  {postcondition}")
+    return HEADER + "\n".join(lines) + "\nend.\n"
+
+
+def verdict(program, **kwargs):
+    result = Verifier(program, **kwargs).verify()
+    return (result.valid, result.outcome,
+            [(subgoal.outcome, subgoal.counterexample is not None)
+             for subgoal in result.results])
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_slicing_and_ordering_preserve_verdicts(seed):
+    rng = random.Random(1997 + seed)
+    source = generate(rng)
+    program = check_program(parse_program(source))
+    everything_on = verdict(program)
+    all_off = verdict(program, slice=False, order=False)
+    assert everything_on == all_off, source
+    sliced_only = verdict(program, order=False)
+    assert sliced_only == all_off, source
+
+
+@pytest.mark.parametrize("seed", range(8, 12))
+def test_cache_replay_preserves_verdicts(seed, tmp_path):
+    rng = random.Random(1997 + seed)
+    source = generate(rng)
+    program = check_program(parse_program(source))
+    cold = verdict(program, cache_dir=str(tmp_path))
+    warm_result = Verifier(program, cache_dir=str(tmp_path)).verify()
+    warm = (warm_result.valid, warm_result.outcome,
+            [(subgoal.outcome, subgoal.counterexample is not None)
+             for subgoal in warm_result.results])
+    assert warm == cold, source
+    assert warm_result.cache_hits == len(warm_result.results), source

@@ -1,0 +1,159 @@
+"""Tests for the content-addressed verdict cache: fingerprints,
+round-trips, corruption tolerance, and invalidation."""
+
+import os
+import pickle
+from types import SimpleNamespace
+
+from repro.analysis import (CACHE_SCHEMA_VERSION, code_fingerprint,
+                            subgoal_fingerprint)
+from repro.pascal import check_program, parse_program
+from repro.programs import ALL_PROGRAMS
+from repro.verify.cache import VerdictCache, open_cache
+from repro.verify.engine import Verifier
+
+
+def wire_like(outcome="VERIFIED"):
+    """The minimal shape the cache's sanity check accepts."""
+    return SimpleNamespace(outcome=outcome, stats={"max_states": 3})
+
+
+def typed(name):
+    return check_program(parse_program(ALL_PROGRAMS[name]))
+
+
+class TestVerdictCacheStore:
+    def test_round_trip(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("abc123", wire_like())
+        wire = cache.lookup("abc123")
+        assert wire.outcome == "VERIFIED"
+        assert wire.stats == {"max_states": 3}
+
+    def test_absent_entry_is_a_miss(self, tmp_path):
+        assert VerdictCache(str(tmp_path)).lookup("missing") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("abc123", wire_like())
+        with open(cache._path("abc123"), "wb") as handle:
+            handle.write(b"\x80\x04not a pickle")
+        assert cache.lookup("abc123") is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        cache.store("abc123", wire_like())
+        path = cache._path("abc123")
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        assert cache.lookup("abc123") is None
+
+    def test_foreign_object_is_a_miss(self, tmp_path):
+        # A well-formed pickle of the wrong type must not surface
+        # later as an attribute error inside the engine.
+        cache = VerdictCache(str(tmp_path))
+        os.makedirs(cache.directory)
+        with open(cache._path("abc123"), "wb") as handle:
+            pickle.dump({"outcome": "VERIFIED"}, handle)
+        assert cache.lookup("abc123") is None
+
+    def test_unwritable_root_fails_silently(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file, not a directory")
+        cache = VerdictCache(str(blocker / "cache"))
+        cache.store("abc123", wire_like())  # must not raise
+        assert cache.lookup("abc123") is None
+
+    def test_directory_is_versioned_by_schema_and_code(self, tmp_path):
+        cache = VerdictCache(str(tmp_path))
+        name = os.path.basename(cache.directory)
+        assert name == (f"v{CACHE_SCHEMA_VERSION}-"
+                        f"{code_fingerprint()}")
+
+    def test_open_cache_none_disables(self):
+        assert open_cache(None) is None
+        assert open_cache("/tmp/somewhere") is not None
+
+
+class TestFingerprint:
+    def test_options_change_the_fingerprint(self):
+        program = typed("scan")
+        args = (program.schema, program.body, ["a"], ["b"])
+        assert subgoal_fingerprint(*args, ["slice=True"]) != \
+            subgoal_fingerprint(*args, ["slice=False"])
+
+    def test_obligations_change_the_fingerprint(self):
+        program = typed("scan")
+        base = (program.schema, program.body)
+        assert subgoal_fingerprint(*base, ["a"], ["b"], []) != \
+            subgoal_fingerprint(*base, ["a"], ["c"], [])
+
+    def test_line_numbers_do_not(self):
+        # Reflowing a program (blank line before the body) must not
+        # move any subgoal out of the cache.
+        source = ALL_PROGRAMS["reverse"]
+        reflowed = source.replace("begin", "begin\n", 1)
+        first = typed("reverse")
+        second = check_program(parse_program(reflowed))
+        args = (["a"], ["b"], [])
+        assert subgoal_fingerprint(first.schema, first.body, *args) \
+            == subgoal_fingerprint(second.schema, second.body, *args)
+
+
+class TestEngineCaching:
+    def test_cold_then_warm_run(self, tmp_path):
+        program = typed("scan")
+        cold = Verifier(program, cache_dir=str(tmp_path)).verify()
+        assert cold.valid
+        assert cold.cache_hits == 0
+        warm = Verifier(program, cache_dir=str(tmp_path)).verify()
+        assert warm.valid
+        assert warm.cache_hits == len(warm.results)
+        for before, after in zip(cold.results, warm.results):
+            assert before.outcome is after.outcome
+            assert before.stats.max_states == after.stats.max_states
+            assert before.variable_order == after.variable_order
+
+    def test_corrupted_store_degrades_to_cold(self, tmp_path):
+        program = typed("scan")
+        cache = open_cache(str(tmp_path))
+        Verifier(program, cache_dir=str(tmp_path)).verify()
+        entries = os.listdir(cache.directory)
+        assert entries
+        for name in entries:
+            with open(os.path.join(cache.directory, name),
+                      "wb") as handle:
+                handle.write(b"garbage")
+        rerun = Verifier(program, cache_dir=str(tmp_path)).verify()
+        assert rerun.valid
+        assert rerun.cache_hits == 0
+
+    def test_option_change_invalidates(self, tmp_path):
+        program = typed("scan")
+        Verifier(program, cache_dir=str(tmp_path)).verify()
+        other = Verifier(program, cache_dir=str(tmp_path),
+                         order=False).verify()
+        assert other.valid
+        assert other.cache_hits == 0
+
+    def test_no_cache_dir_stores_nothing(self, tmp_path):
+        program = typed("scan")
+        result = Verifier(program).verify()
+        assert result.cache_hits == 0
+        for subgoal_result in result.results:
+            assert subgoal_result.cache is None
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_failing_program_verdict_cached_too(self, tmp_path):
+        program = typed("swap")
+        cold = Verifier(program, cache_dir=str(tmp_path),
+                        simulate=False).verify()
+        assert not cold.valid
+        warm = Verifier(program, cache_dir=str(tmp_path),
+                        simulate=False).verify()
+        assert not warm.valid
+        assert warm.cache_hits == len(warm.results)
+        assert (warm.counterexample is None) == \
+            (cold.counterexample is None)
