@@ -14,8 +14,19 @@ Usage::
     repro-verify analyze FILE.pas [--json] [--no-reduce] [--no-slice]
                                   [--no-order]
     repro-verify lint   FILE.pas [...] [--json] [--strict]
+    repro-verify serve  [--port N | --unix-socket PATH] [--workers N]
+                        [--max-concurrent N] [--max-queue N]
+                        [--drain-grace S] [--hang-timeout S]
+                        [engine flags] [cache flags] [budget flags]
     repro-verify show   NAME            # print a bundled example program
     repro-verify list                   # list the bundled programs
+
+``serve`` runs the long-lived verification daemon: an HTTP+JSON API
+(``POST /v1/verify``, ``POST /v1/batch``, ``GET /v1/jobs/<id>``,
+``GET /healthz|/readyz|/v1/stats``) over a supervised worker pool
+with admission control and graceful SIGTERM drain (see
+``docs/ARCHITECTURE.md`` §12 and the README's "Running as a
+service").  Its budget flags are per-request defaults *and* caps.
 
 Observability flags (also triggered by the ``REPRO_TRACE=1``
 environment variable, which acts like ``--trace``):
@@ -180,6 +191,47 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "schema (types and variables) to use "
                                 "[default: reverse]")
 
+    serve_cmd = commands.add_parser(
+        "serve", help="run the long-lived verification daemon "
+                      "(HTTP+JSON API over a supervised worker pool)")
+    serve_cmd.add_argument("--host", default="127.0.0.1",
+                           help="TCP bind address [default: "
+                                "127.0.0.1]")
+    serve_cmd.add_argument("--port", type=int, default=8421,
+                           help="TCP port [default: 8421]")
+    serve_cmd.add_argument("--unix-socket", metavar="PATH",
+                           help="listen on a unix socket instead of "
+                                "TCP (stale sockets are replaced; "
+                                "the file is removed on shutdown)")
+    serve_cmd.add_argument("--workers", type=int, default=2,
+                           metavar="N",
+                           help="supervised worker processes; 0 = "
+                                "one per CPU [default: 2]")
+    serve_cmd.add_argument("--max-concurrent", type=int, default=4,
+                           metavar="N",
+                           help="requests verifying at once; more "
+                                "wait in the queue [default: 4]")
+    serve_cmd.add_argument("--max-queue", type=int, default=16,
+                           metavar="N",
+                           help="requests allowed to wait; beyond "
+                                "this, 429 + Retry-After [default: "
+                                "16]")
+    serve_cmd.add_argument("--drain-grace", type=float, default=10.0,
+                           metavar="SECONDS",
+                           help="on SIGTERM, seconds in-flight "
+                                "requests get before stragglers are "
+                                "completed as ERROR rows [default: "
+                                "10]")
+    serve_cmd.add_argument("--hang-timeout", type=float, default=30.0,
+                           metavar="SECONDS",
+                           help="a busy worker silent for this long "
+                                "is declared hung and replaced "
+                                "[default: 30]")
+    _add_engine_flags(serve_cmd)
+    _add_cache_flags(serve_cmd)
+    _add_budget_flags(serve_cmd)
+    serve_cmd.set_defaults(timeout=60.0)
+
     commands.add_parser("list", help="list the bundled programs")
 
     args = parser.parse_args(argv)
@@ -226,6 +278,11 @@ def _add_cache_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument("--no-cache", action="store_true",
                          help="ignore --cache-dir (force a cold, "
                               "uncached run)")
+    command.add_argument("--cache-max-mb", type=float, metavar="MB",
+                         help="LRU size cap for the verdict cache; "
+                              "least-recently-used entries are "
+                              "evicted past the cap [default: "
+                              "unbounded]")
 
 
 def _cache_dir(args: argparse.Namespace) -> Optional[str]:
@@ -313,6 +370,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                                slice=not args.no_slice,
                                order=not args.no_order,
                                cache_dir=_cache_dir(args),
+                               cache_max_mb=args.cache_max_mb,
                                tracer=tracer,
                                jobs=resolve_jobs(args.jobs),
                                **_budget_kwargs(args))
@@ -328,6 +386,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _analyze(args)
     if args.command == "synth":
         return _synthesize(args.formula, args.program)
+    if args.command == "serve":
+        from repro.serve.daemon import serve_command
+        return serve_command(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 
@@ -351,6 +412,7 @@ def _table(args: argparse.Namespace) -> int:
                                        slice=not args.no_slice,
                                        order=not args.no_order,
                                        cache_dir=_cache_dir(args),
+                                       cache_max_mb=args.cache_max_mb,
                                        **_budget_kwargs(args))
             except KeyboardInterrupt:
                 interrupted = True
@@ -388,6 +450,7 @@ def _table_parallel(names: List[str], jobs: int,
         slice=not args.no_slice,
         order=not args.no_order,
         cache_dir=_cache_dir(args),
+        cache_max_mb=args.cache_max_mb,
         timeout=budget["timeout"],
         max_bdd_nodes=budget["max_bdd_nodes"],
         max_states=budget["max_states"],

@@ -22,6 +22,7 @@ Example:
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Dict, Optional
 
@@ -136,7 +137,16 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Creates-on-first-use registry of named metrics."""
+    """Creates-on-first-use registry of named metrics.
+
+    Handle creation, merging and export are guarded by a lock so the
+    registry can be shared between threads (the serving daemon's
+    dispatcher, request handlers and stats endpoint all touch the
+    same registry).  The individual metric operations (``inc``,
+    ``set``, ``observe``) stay lock-free — they are single bytecode
+    read-modify-writes on the hot path, and the daemon only ever
+    mutates a given handle from one thread at a time.
+    """
 
     enabled = True
 
@@ -144,23 +154,39 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Locks cannot cross the worker process boundary; the reply
+        # envelope ships the metric tables only.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         found = self._counters.get(name)
         if found is None:
-            found = self._counters[name] = Counter(name)
+            with self._lock:
+                found = self._counters.setdefault(name, Counter(name))
         return found
 
     def gauge(self, name: str) -> Gauge:
         found = self._gauges.get(name)
         if found is None:
-            found = self._gauges[name] = Gauge(name)
+            with self._lock:
+                found = self._gauges.setdefault(name, Gauge(name))
         return found
 
     def histogram(self, name: str) -> Histogram:
         found = self._histograms.get(name)
         if found is None:
-            found = self._histograms[name] = Histogram(name)
+            with self._lock:
+                found = self._histograms.setdefault(name,
+                                                    Histogram(name))
         return found
 
     def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:

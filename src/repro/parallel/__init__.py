@@ -13,19 +13,30 @@ Module map:
   and deadline partitioning (pure; fake-clock testable);
 * :mod:`repro.parallel.wire` — picklable task/result payloads;
 * :mod:`repro.parallel.worker` — worker-process entry points;
+* :mod:`repro.parallel.supervise` — the supervised pool: heartbeat
+  and exit-code watch, respawn, retry with backoff, quarantine;
 * :mod:`repro.parallel.pool` — the executor and the merge logic.
 
-The differential harness ``tests/diffcheck.py`` is this package's
-correctness contract: sequential and parallel runs over the whole
-corpus must produce identical normalized reports.
+Worker death is a *normal event* here: a crashed, OOM-killed or hung
+worker is respawned and its in-flight task retried; a task that kills
+every worker sent to it is quarantined as a structured ``ERROR`` row
+(``docs/ARCHITECTURE.md`` §12).  The differential harness
+``tests/diffcheck.py`` is this package's correctness contract:
+sequential and parallel runs over the whole corpus must produce
+identical normalized reports.
 """
 
-from repro.parallel.pool import (engine_options, resolve_jobs,
+from repro.parallel.pool import (crash_subgoal_wire, engine_options,
+                                 error_subgoal_wire, resolve_jobs,
                                  run_table, verify_parallel)
 from repro.parallel.schedule import (Task, WorkStealingScheduler,
                                      partition_deadline)
+from repro.parallel.supervise import (CrashReply, SupervisedPool,
+                                      run_supervised)
 from repro.parallel.wire import EngineOptions
 
-__all__ = ["EngineOptions", "Task", "WorkStealingScheduler",
-           "engine_options", "partition_deadline", "resolve_jobs",
+__all__ = ["CrashReply", "EngineOptions", "SupervisedPool", "Task",
+           "WorkStealingScheduler", "crash_subgoal_wire",
+           "engine_options", "error_subgoal_wire",
+           "partition_deadline", "resolve_jobs", "run_supervised",
            "run_table", "verify_parallel"]

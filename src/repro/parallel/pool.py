@@ -27,21 +27,22 @@ enforcement arm of this module's contract.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from contextlib import nullcontext
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.mso.compile import CompilationStats
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import current_metrics
 from repro.parallel.schedule import (WorkStealingScheduler,
                                      partition_deadline)
+from repro.parallel.supervise import CrashReply, run_supervised
 from repro.parallel.wire import (EngineOptions, ProgramTask, SubgoalTask,
-                                 WorkerReply, rebuild_run,
-                                 rebuild_subgoal_result)
+                                 WireSubgoalResult, WorkerReply,
+                                 rebuild_run, rebuild_subgoal_result)
 from repro.parallel import worker as worker_mod
-from repro.verify.engine import (VerificationResult, Verifier)
+from repro.verify.engine import (Outcome, VerificationResult, Verifier)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -66,6 +67,7 @@ def engine_options(verifier: Verifier) -> EngineOptions:
         slice=verifier.slice,
         order=verifier.order,
         cache_dir=verifier.cache_dir,
+        cache_max_mb=verifier.cache_max_mb,
         retry_alternate=verifier.retry_alternate,
         timeout=verifier.timeout,
         max_bdd_nodes=verifier.max_bdd_nodes,
@@ -94,45 +96,38 @@ class _ReplyCollector:
         registry.merge(reply.metrics, prefix=f"worker.{slot}.")
 
 
-def _run_pool(payloads: List[object],
-              task_fn: Callable[[object], WorkerReply],
-              jobs: int,
-              on_reply: Callable[[WorkerReply], bool]) -> bool:
-    """Run payloads over a worker pool; returns True when the run was
-    interrupted (a worker reported KeyboardInterrupt, or the parent
-    received one).  ``on_reply`` returns True to stop early; on any
-    early stop the pool is *terminated*, not drained, so no orphaned
-    worker outlives the run."""
-    if not payloads:
-        return False
-    processes = max(1, min(jobs, len(payloads)))
-    ctx = multiprocessing.get_context()
-    faults_spec = os.environ.get("REPRO_FAULTS", "")
-    pool = ctx.Pool(processes=processes,
-                    initializer=worker_mod.initialize,
-                    initargs=(faults_spec,))
-    interrupted = False
-    clean = False
-    try:
-        for reply in pool.imap_unordered(task_fn, payloads, chunksize=1):
-            if reply.kind == "interrupted":
-                interrupted = True
-                break
-            if on_reply(reply):
-                break
-        else:
-            clean = True
-    except KeyboardInterrupt:
-        interrupted = True
-    finally:
-        if clean:
-            pool.close()
-        else:
-            # Early exit: kill in-flight work immediately; a partial
-            # report is still flushed by the caller.
-            pool.terminate()
-        pool.join()
-    return interrupted
+def error_subgoal_wire(index: int, message: str, attempts: int = 1,
+                       description: str = "") -> WireSubgoalResult:
+    """A synthesized ``ERROR`` row for a subgoal no worker could
+    answer — the supervised-pool analogue of the engine's degradation
+    ladder, so a lost task surfaces exactly like any other per-subgoal
+    failure: a row in the report, never a hung run."""
+    return WireSubgoalResult(
+        index=index,
+        description=description or f"subgoal {index}",
+        valid=False,
+        outcome=Outcome.ERROR.value,
+        error=message,
+        attempts=attempts,
+        budget=None,
+        seconds=0.0,
+        formula_size=0,
+        tracks_before=0,
+        tracks_after=0,
+        stats=CompilationStats(),
+        span=None,
+        counterexample=None,
+    )
+
+
+def crash_subgoal_wire(index: int, crash: CrashReply,
+                       description: str = "") -> WireSubgoalResult:
+    """Fold a quarantined subgoal task (the worker died on every
+    attempt — OOM kill, hard exit, hang) into a structured ``ERROR``
+    row."""
+    return error_subgoal_wire(index, crash.describe(),
+                              attempts=crash.attempts,
+                              description=description)
 
 
 # ----------------------------------------------------------------------
@@ -176,7 +171,15 @@ def verify_parallel(verifier: Verifier) -> VerificationResult:
     wires: Dict[int, object] = {}
     errors: List[BaseException] = []
 
-    def on_reply(reply: WorkerReply) -> bool:
+    def on_reply(reply) -> bool:
+        if isinstance(reply, CrashReply):
+            # The worker died on every attempt: a structured ERROR
+            # row, exactly like any other degraded subgoal.
+            index = int(reply.key)  # type: ignore[arg-type]
+            wires[index] = crash_subgoal_wire(
+                index, reply,
+                description=getattr(subgoals[index], "description", ""))
+            return False
         collector.absorb(reply)
         if reply.kind == "error":
             # Unexpected escape (the engine degrades everything it
@@ -192,8 +195,9 @@ def verify_parallel(verifier: Verifier) -> VerificationResult:
         with obs_trace.span("verify", program=program.name,
                             parallel=True, jobs=jobs,
                             subgoals=len(subgoals)):
-            interrupted = _run_pool(payloads, worker_mod.run_subgoal_task,
-                                    jobs, on_reply)
+            interrupted = run_supervised(payloads, list(order),
+                                         worker_mod.run_subgoal_task,
+                                         jobs, on_reply)
     if errors:
         raise errors[0]
 
@@ -244,9 +248,16 @@ def run_table(names: List[str], options: EngineOptions, jobs: int,
     errors: List[BaseException] = []
     saw_engine_interrupt = [False]
 
-    def on_reply(reply: WorkerReply) -> bool:
-        collector.absorb(reply)
+    def on_reply(reply) -> bool:
         name = str(reply.key)
+        if isinstance(reply, CrashReply):
+            # A program whose worker died on every attempt becomes a
+            # structured error row (exit code 3), never a raw crash
+            # of the whole table run.
+            finished[name] = VerificationResult(program=name,
+                                                error=reply.describe())
+            return False
+        collector.absorb(reply)
         if reply.kind == "error":
             exc = reply.value
             if keep_going and isinstance(exc, (ReproError, OSError)):
@@ -264,8 +275,9 @@ def run_table(names: List[str], options: EngineOptions, jobs: int,
             return True
         return False
 
-    interrupted = _run_pool(payloads, worker_mod.run_program_task,
-                            jobs, on_reply)
+    interrupted = run_supervised(payloads, list(names),
+                                 worker_mod.run_program_task,
+                                 jobs, on_reply)
     if errors:
         raise errors[0]
     results = [finished[name] for name in names if name in finished]

@@ -43,6 +43,7 @@ class EngineOptions:
     slice: bool = True
     order: bool = True
     cache_dir: Optional[str] = None
+    cache_max_mb: Optional[float] = None
     retry_alternate: bool = True
     timeout: Optional[float] = None
     max_bdd_nodes: Optional[int] = None

@@ -54,6 +54,7 @@ def _verifier_for(program: object, options: EngineOptions,
                     slice=options.slice,
                     order=options.order,
                     cache_dir=options.cache_dir,
+                    cache_max_mb=options.cache_max_mb,
                     retry_alternate=options.retry_alternate,
                     tracer=tracer,
                     timeout=timeout,

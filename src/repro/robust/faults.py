@@ -31,7 +31,14 @@ Kinds:
   failure);
 * ``recursion`` — :class:`RecursionError`;
 * ``interrupt`` — :class:`KeyboardInterrupt` (exercises the CLI's
-  partial-report flush and exit code 130).
+  partial-report flush and exit code 130);
+* ``exit`` — ``os._exit(13)``: the process dies instantly, without
+  cleanup handlers, finally blocks or a traceback — a worker crash;
+* ``kill`` — ``SIGKILL`` to the own process: indistinguishable from
+  the kernel's OOM killer.  ``exit``/``kill`` (the *crash kinds*,
+  :data:`CRASH_KINDS`) only make sense inside a worker process that a
+  supervisor watches; fired in the main process they end the run, by
+  design.
 
 When no plan is installed, :func:`fire` is a single global read.
 """
@@ -39,6 +46,7 @@ When no plan is installed, :func:`fire` is a single global read.
 from __future__ import annotations
 
 import os
+import signal
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -55,11 +63,24 @@ FAULT_SITES = (
     "automata.determinize",   # repro.automata.symbolic
     "automata.minimize",      # repro.automata.symbolic
     "verify.counterexample",  # repro.verify.engine — decode/simulate
+    "serve.worker_spawn",     # repro.parallel.supervise — pool spawn
+    "serve.heartbeat",        # repro.parallel.supervise — worker beat
+    "serve.request_decode",   # repro.serve.protocol — request JSON
+    "serve.cache_write",      # repro.verify.cache — entry store
 )
 
 #: Exception kinds a rule may raise.
 FAULT_KINDS = ("budget", "timeout", "memory", "error", "recursion",
-               "interrupt")
+               "interrupt", "exit", "kill")
+
+#: Kinds that terminate the process instead of raising — only
+#: recoverable under a supervised worker pool.
+CRASH_KINDS = ("exit", "kill")
+
+#: The sites that fire only on serving/supervision paths (the matrix
+#: tests drive them separately from the in-process decision sites).
+SERVE_SITES = tuple(site for site in FAULT_SITES
+                    if site.startswith("serve."))
 
 
 class FaultSpecError(ValueError):
@@ -87,6 +108,10 @@ class _Rule:
                                  f"{self.site}")
         if self.kind == "interrupt":
             raise KeyboardInterrupt
+        if self.kind == "exit":
+            os._exit(13)
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
         raise RuntimeError(f"injected fault at {self.site}")
 
 
@@ -121,6 +146,38 @@ class FaultPlan:
             if rule.remaining > 0:
                 rule.remaining -= 1
                 rule.raise_fault()
+
+    def to_spec(self) -> str:
+        """Serialise back to the ``site:kind[:count]`` comma-list (the
+        supervisor re-spawns workers with an updated spec)."""
+        chunks: List[str] = []
+        for rules in self._rules.values():
+            for rule in rules:
+                if rule.remaining is None:
+                    chunks.append(f"{rule.site}:{rule.kind}")
+                else:
+                    chunks.append(
+                        f"{rule.site}:{rule.kind}:{rule.remaining}")
+        return ",".join(chunks)
+
+    def consume_crash(self) -> bool:
+        """Account one crash-kind firing in a *dead* worker.
+
+        A worker that dies at an ``exit``/``kill`` site cannot report
+        that its count-limited rule fired — so its supervisor, which
+        observed the death, decrements the first live count-limited
+        crash rule before re-spawning a replacement.  Returns True
+        when a rule was decremented.  Unlimited crash rules are left
+        alone: they mean "every attempt dies" (the quarantine path).
+        """
+        for rules in self._rules.values():
+            for rule in rules:
+                if rule.kind in CRASH_KINDS and \
+                        rule.remaining is not None and \
+                        rule.remaining > 0:
+                    rule.remaining -= 1
+                    return True
+        return False
 
 
 def parse_plan(spec: str) -> FaultPlan:

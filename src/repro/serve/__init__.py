@@ -1,0 +1,27 @@
+"""Verification as a service: the ``repro serve`` daemon.
+
+A long-lived HTTP+JSON front end over the verification engine,
+backed by the supervised worker pool
+(:mod:`repro.parallel.supervise`), with per-request admission control
+(:mod:`repro.serve.admission`), async job tracking
+(:mod:`repro.serve.jobs`) and a graceful drain-on-SIGTERM lifecycle
+(:mod:`repro.serve.daemon`).  ``docs/ARCHITECTURE.md`` §12 describes
+the design; the README shows the curl-level API.
+"""
+
+from repro.serve.admission import AdmissionController, Draining, QueueFull
+from repro.serve.daemon import ServeConfig, VerificationService, serve_command
+from repro.serve.jobs import JobTable
+from repro.serve.protocol import ProtocolError, parse_verify_request
+
+__all__ = [
+    "AdmissionController",
+    "Draining",
+    "JobTable",
+    "ProtocolError",
+    "QueueFull",
+    "ServeConfig",
+    "VerificationService",
+    "parse_verify_request",
+    "serve_command",
+]

@@ -1,0 +1,158 @@
+"""Per-request admission control: bounded queue, backpressure, drain.
+
+The decision procedure is non-elementary; without admission control a
+burst of expensive requests turns the daemon into an unbounded pile
+of blocked threads.  The controller enforces two limits:
+
+* ``max_concurrent`` — requests actively verifying at once (the rest
+  wait);
+* ``max_queue`` — requests allowed to *wait*; one more is rejected
+  immediately with :class:`QueueFull`, which the HTTP layer renders
+  as ``429 Too Many Requests`` plus a ``Retry-After`` estimated from
+  an exponentially-weighted moving average of recent request
+  durations and the current queue depth.
+
+Rejection at the door is the backpressure mechanism: a client that
+sees 429 + Retry-After can shed load or come back, while an accepted
+request is guaranteed a bounded wait (queue length x typical
+duration) rather than an unbounded one.
+
+Draining (:meth:`AdmissionController.start_draining`) flips the
+controller one-way: new and waiting requests fail with
+:class:`Draining` (rendered as ``503``), active ones finish.  This is
+the first step of the SIGTERM sequence in
+:mod:`repro.serve.daemon`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+from repro.obs.metrics import current_metrics
+
+
+class QueueFull(Exception):
+    """The waiting room is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: int) -> None:
+        super().__init__(f"queue full; retry after {retry_after}s")
+        self.retry_after = retry_after
+
+
+class Draining(Exception):
+    """The daemon is shutting down and admits no new work."""
+
+
+class AdmissionController:
+    """Counting admission gate shared by every request handler."""
+
+    def __init__(self, max_concurrent: int, max_queue: int,
+                 initial_estimate: float = 1.0) -> None:
+        self.max_concurrent = max(1, max_concurrent)
+        self.max_queue = max(0, max_queue)
+        self._condition = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+        self._draining = False
+        # EWMA of request durations, seeding Retry-After estimates.
+        self._estimate = initial_estimate
+
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def admitted(self) -> Iterator[None]:
+        """Hold one active slot for the duration of a request.
+
+        Raises :class:`QueueFull` when the waiting room is full and
+        :class:`Draining` once shutdown has begun (including while
+        waiting)."""
+        self._enter()
+        started = time.monotonic()
+        try:
+            yield
+        finally:
+            self._leave(time.monotonic() - started)
+
+    def _enter(self) -> None:
+        metrics = current_metrics()
+        with self._condition:
+            if self._draining:
+                raise Draining
+            if self._active < self.max_concurrent:
+                self._active += 1
+                metrics.counter("serve.admission.admitted").inc()
+                return
+            if self._waiting >= self.max_queue:
+                metrics.counter("serve.admission.rejected").inc()
+                raise QueueFull(self._retry_after_locked())
+            self._waiting += 1
+            try:
+                while self._active >= self.max_concurrent \
+                        and not self._draining:
+                    self._condition.wait()
+            finally:
+                self._waiting -= 1
+            if self._draining:
+                raise Draining
+            self._active += 1
+            metrics.counter("serve.admission.admitted").inc()
+
+    def _leave(self, seconds: float) -> None:
+        metrics = current_metrics()
+        metrics.histogram("serve.request_seconds").observe(seconds)
+        with self._condition:
+            self._active -= 1
+            self._estimate = 0.8 * self._estimate + 0.2 * seconds
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+
+    def _retry_after_locked(self) -> int:
+        backlog = self._waiting + self._active
+        estimate = self._estimate * backlog / self.max_concurrent
+        return max(1, int(math.ceil(estimate)))
+
+    def retry_after(self) -> int:
+        """Seconds a rejected client should wait before retrying."""
+        with self._condition:
+            return self._retry_after_locked()
+
+    def start_draining(self) -> None:
+        """One-way switch: reject new work, wake and reject waiters."""
+        with self._condition:
+            self._draining = True
+            self._condition.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        with self._condition:
+            return self._draining
+
+    def wait_idle(self, grace: Optional[float]) -> bool:
+        """Block until no request is active (True) or ``grace``
+        seconds elapsed (False).  ``grace`` None waits forever."""
+        deadline = None if grace is None else time.monotonic() + grace
+        with self._condition:
+            while self._active:
+                remaining = None if deadline is None else \
+                    deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._condition.wait(remaining)
+            return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready state for the stats endpoint."""
+        with self._condition:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "draining": self._draining,
+                "estimated_seconds": round(self._estimate, 3),
+            }

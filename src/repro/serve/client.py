@@ -1,0 +1,114 @@
+"""A minimal client for the serving API (tests, smoke checks, ops).
+
+Deliberately tiny — stdlib :mod:`http.client` over TCP or a unix
+socket, JSON in, JSON out.  Anything a browser, curl or a real load
+balancer can do, this client does with three methods; it exists so
+the integration tests and the CI smoke job talk to the daemon through
+the same code path operators would script against.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Dict, Optional, Tuple
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """An ``http.client`` connection over an ``AF_UNIX`` socket."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(self.timeout)
+        self.sock.connect(self._path)
+
+
+class ServeClient:
+    """One logical connection to a ``repro serve`` daemon.
+
+    A fresh HTTP connection is opened per request — the client is
+    about correctness, not connection pooling.
+    """
+
+    def __init__(self, unix_socket: Optional[str] = None,
+                 host: str = "127.0.0.1", port: int = 8421,
+                 timeout: float = 60.0) -> None:
+        self.unix_socket = unix_socket
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.unix_socket is not None:
+            return _UnixHTTPConnection(self.unix_socket, self.timeout)
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                document: Optional[Dict[str, object]] = None
+                ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        """One round trip; returns (status, headers, parsed body)."""
+        connection = self._connection()
+        try:
+            body = None
+            headers = {}
+            if document is not None:
+                body = json.dumps(document).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body,
+                               headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            parsed: Dict[str, object] = {}
+            if payload:
+                parsed = json.loads(payload.decode("utf-8"))
+            return (response.status,
+                    {name.lower(): value
+                     for name, value in response.getheaders()},
+                    parsed)
+        finally:
+            connection.close()
+
+    # -- convenience wrappers ------------------------------------------
+
+    def verify(self, program: Optional[str] = None,
+               source: Optional[str] = None,
+               options: Optional[Dict[str, bool]] = None,
+               budget: Optional[Dict[str, object]] = None,
+               background: bool = False
+               ) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        document: Dict[str, object] = {}
+        if program is not None:
+            document["program"] = program
+        if source is not None:
+            document["source"] = source
+        if options:
+            document["options"] = options
+        if budget:
+            document["budget"] = budget
+        if background:
+            document["async"] = True
+        return self.request("POST", "/v1/verify", document)
+
+    def batch(self, requests) -> Tuple[int, Dict[str, str],
+                                       Dict[str, object]]:
+        return self.request("POST", "/v1/batch",
+                            {"requests": list(requests)})
+
+    def job(self, job_id: str) -> Tuple[int, Dict[str, str],
+                                        Dict[str, object]]:
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def health(self) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        return self.request("GET", "/healthz")
+
+    def ready(self) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        return self.request("GET", "/readyz")
+
+    def stats(self) -> Tuple[int, Dict[str, str], Dict[str, object]]:
+        return self.request("GET", "/v1/stats")

@@ -1,0 +1,100 @@
+"""Async job tracking for ``"async": true`` requests.
+
+A job is a verification the client did not wait for: submission
+returns ``202 Accepted`` plus a job id, and ``GET /v1/jobs/<id>``
+polls its state.  The table is bounded: once more than ``retention``
+jobs are finished, the oldest finished ones are dropped (a poll for a
+dropped id gets 404, the same as a bad id — clients that care fetch
+results promptly).  Unfinished jobs are never evicted.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class Job:
+    """One asynchronous verification and its eventual result."""
+
+    def __init__(self, job_id: str, label: str) -> None:
+        self.id = job_id
+        self.label = label
+        self.state = QUEUED
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.status = 0
+        self.document: Optional[Dict[str, object]] = None
+
+    def to_dict(self, with_result: bool = True) -> Dict[str, object]:
+        document: Dict[str, object] = {
+            "job_id": self.id,
+            "program": self.label,
+            "state": self.state,
+            "created": self.created,
+        }
+        if self.finished is not None:
+            document["finished"] = self.finished
+        if with_result and self.document is not None:
+            document["status"] = self.status
+            document["result"] = self.document
+        return document
+
+
+class JobTable:
+    """Thread-safe id -> :class:`Job` store with bounded retention."""
+
+    def __init__(self, retention: int = 256) -> None:
+        self.retention = max(1, retention)
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+
+    def create(self, label: str) -> Job:
+        job = Job(secrets.token_hex(8), label)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._evict_locked()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def start(self, job: Job) -> None:
+        job.state = RUNNING
+
+    def finish(self, job: Job, status: int,
+               document: Dict[str, object],
+               failed: bool = False) -> None:
+        job.status = status
+        job.document = document
+        job.finished = time.time()
+        job.state = FAILED if failed else DONE
+        with self._lock:
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        finished = [job_id for job_id, job in self._jobs.items()
+                    if job.state in (DONE, FAILED)]
+        excess = len(self._jobs) - self.retention
+        for job_id in finished:
+            if excess <= 0:
+                break
+            del self._jobs[job_id]
+            excess -= 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            states["total"] = len(self._jobs)
+            return states

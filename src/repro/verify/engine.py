@@ -433,6 +433,9 @@ class Verifier:
             fingerprint is already stored replay their decided result
             instead of recomputing it.  None (the default) disables
             caching.
+        cache_max_mb: LRU size cap for the verdict cache in
+            megabytes — least-recently-used entries are evicted once
+            the cache grows past it.  None (the default) = unbounded.
         tracer: record phase spans into this tracer for the duration
             of :meth:`verify` (None leaves the process's active tracer
             in charge — usually the no-op sink).
@@ -462,6 +465,7 @@ class Verifier:
                  slice: bool = True,
                  order: bool = True,
                  cache_dir: Optional[str] = None,
+                 cache_max_mb: Optional[float] = None,
                  tracer: Optional[obs_trace.Tracer] = None,
                  timeout: Optional[float] = None,
                  max_bdd_nodes: Optional[int] = None,
@@ -476,7 +480,8 @@ class Verifier:
         self.slice = slice
         self.order = order
         self.cache_dir = cache_dir
-        self.cache = open_cache(cache_dir)
+        self.cache_max_mb = cache_max_mb
+        self.cache = open_cache(cache_dir, max_mb=cache_max_mb)
         self.stop_at_first_failure = stop_at_first_failure
         self.tracer = tracer
         self.timeout = timeout

@@ -1,0 +1,205 @@
+"""CI smoke test for the serving daemon.
+
+Starts a real ``repro serve`` subprocess on a unix socket, drives the
+whole corpus through it from several concurrent clients under a tight
+per-request budget, and asserts the serving robustness contract:
+
+* every response is a structured JSON document with a documented
+  status — no raw traceback, no hung request;
+* the daemon drains cleanly on SIGTERM (exit code 0, socket
+  unlinked);
+* no orphaned worker process survives the run.
+
+Run from the repository root (CI's ``serve-smoke`` job)::
+
+    PYTHONPATH=src python tests/serve_smoke.py --clients 4 --budget 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.programs import ALL_PROGRAMS
+from repro.serve.client import ServeClient
+
+STRUCTURED_OUTCOMES = frozenset({
+    "VERIFIED", "FAILED", "TIMEOUT", "BUDGET_EXCEEDED", "ERROR",
+    "INTERRUPTED",
+})
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def start_daemon(sock: str, workers: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--unix-socket", sock, "--workers", str(workers),
+         "--max-concurrent", str(workers), "--max-queue", "16"],
+        env=env, cwd=_REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+
+def wait_healthy(process: subprocess.Popen, client: ServeClient,
+                 timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(f"daemon died during startup "
+                             f"(exit {process.returncode}):\n"
+                             f"{process.stderr.read()}")
+        try:
+            status, _, _ = client.health()
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise SystemExit("daemon never became healthy")
+
+
+def drive_clients(sock: str, clients: int, budget: float
+                  ) -> Tuple[List[Tuple[str, int, object]], List[str]]:
+    """Round-robin the corpus across ``clients`` concurrent threads;
+    returns (responses, problems)."""
+    names = sorted(ALL_PROGRAMS)
+    responses: List[Tuple[str, int, object]] = []
+    problems: List[str] = []
+    lock = threading.Lock()
+
+    def one_client(offset: int) -> None:
+        client = ServeClient(unix_socket=sock, timeout=300.0)
+        for name in names[offset::clients]:
+            try:
+                status, _, document = client.verify(
+                    program=name, budget={"timeout": budget})
+            except Exception as exc:  # noqa: BLE001 — a transport
+                # failure is exactly what this harness must surface.
+                with lock:
+                    problems.append(f"{name}: transport error: {exc}")
+                continue
+            with lock:
+                responses.append((name, status, document))
+
+    threads = [threading.Thread(target=one_client, args=(index,))
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return responses, problems
+
+
+def check_responses(responses, problems, expected: int) -> None:
+    if len(responses) != expected:
+        problems.append(f"expected {expected} responses, "
+                        f"got {len(responses)}")
+    for name, status, document in responses:
+        if status != 200:
+            problems.append(f"{name}: status {status}: {document}")
+            continue
+        if not isinstance(document, dict):
+            problems.append(f"{name}: non-object body")
+            continue
+        if "Traceback" in repr(document):
+            problems.append(f"{name}: raw traceback in response")
+        if document.get("schema_version") != 2:
+            problems.append(f"{name}: wrong schema_version")
+        if document.get("outcome") not in STRUCTURED_OUTCOMES:
+            problems.append(f"{name}: unstructured outcome "
+                            f"{document.get('outcome')!r}")
+        for subgoal in document.get("subgoals", ()):
+            if subgoal.get("outcome") not in STRUCTURED_OUTCOMES:
+                problems.append(f"{name}: unstructured subgoal "
+                                f"outcome {subgoal.get('outcome')!r}")
+
+
+def check_error_paths(sock: str, problems: List[str]) -> None:
+    """Protocol-level failures must be structured too."""
+    client = ServeClient(unix_socket=sock, timeout=60.0)
+    for label, (status, _, body), expected in (
+            ("unknown program", client.verify(program="no-such"), 404),
+            ("bad field type",
+             client.request("POST", "/v1/verify", {"program": [1]}),
+             400),
+            ("unknown job", client.job("not-a-job"), 404),
+            ("unrouted path", client.request("GET", "/nope"), 404)):
+        if status != expected:
+            problems.append(f"{label}: status {status} != {expected}")
+        elif not isinstance(body, dict) or "error" not in body:
+            problems.append(f"{label}: unstructured error body")
+
+
+def shutdown(process: subprocess.Popen, sock: str,
+             problems: List[str]) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        code = process.wait(60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(10)
+        problems.append("daemon did not stop within 60s of SIGTERM")
+        return
+    if code != 0:
+        problems.append(f"daemon exited {code}, expected 0:\n"
+                        f"{process.stderr.read()}")
+    if os.path.exists(sock):
+        problems.append("daemon left its socket behind")
+    probe = subprocess.run(["pgrep", "-f", sock],
+                           capture_output=True, text=True)
+    if probe.returncode == 0:
+        problems.append(f"orphaned processes survive: {probe.stdout}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent-client smoke test against a real "
+                    "repro serve daemon.")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--budget", type=float, default=1.0,
+                        help="per-request timeout budget in seconds")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as root:
+        sock = os.path.join(root, "d.sock")
+        process = start_daemon(sock, args.workers)
+        try:
+            wait_healthy(process, ServeClient(unix_socket=sock,
+                                              timeout=10.0))
+            started = time.monotonic()
+            responses, problems = drive_clients(sock, args.clients,
+                                                args.budget)
+            elapsed = time.monotonic() - started
+            check_responses(responses, problems, len(ALL_PROGRAMS))
+            check_error_paths(sock, problems)
+            shutdown(process, sock, problems)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(10)
+
+    for line in problems:
+        print(f"PROBLEM: {line}", file=sys.stderr)
+    outcomes = sorted((name, document.get("outcome")
+                       if isinstance(document, dict) else None)
+                      for name, _, document in responses)
+    print(f"serve smoke: {len(responses)} responses from "
+          f"{args.clients} clients in {elapsed:.1f}s: "
+          f"{'OK' if not problems else f'{len(problems)} problems'}")
+    print(f"outcomes: {outcomes}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,68 @@ class TestFaultContainment:
         assert multiprocessing.active_children() == []
 
 
+class TestCrashSupervision:
+    """Regression tests for the latent ``imap_unordered`` hang: a
+    worker that dies mid-task (SIGKILL, OOM, hard crash) must never
+    strand the run — the supervisor respawns it and either retries to
+    the sequential verdict or quarantines the task as a structured
+    ``ERROR`` row."""
+
+    def test_killed_worker_retried_to_sequential_verdicts(self):
+        # Exactly one SIGKILL of a busy worker: the retry must
+        # converge on a report identical to the sequential one.
+        seq_code, seq_doc, _ = diffcheck.run_cli_json(
+            ["verify", "searchwf", "--json"])
+        with diffcheck.fault_env("verify.decide:kill:1"):
+            par_code, par_doc, err = diffcheck.run_cli_json(
+                ["verify", "searchwf", "--json", "-j", "2"])
+        diffcheck.assert_no_orphans()
+        assert "Traceback" not in err
+        assert par_code == seq_code == 0
+        assert diffcheck.normalize(par_doc) == \
+            diffcheck.normalize(seq_doc)
+
+    def test_poison_task_quarantined_as_error_rows(self):
+        # Every attempt dies: the run completes (no hang) with each
+        # subgoal quarantined as a structured ERROR row.
+        with diffcheck.fault_env("verify.decide:exit"):
+            code, document, err = diffcheck.run_cli_json(
+                ["verify", "searchwf", "--json", "-j", "2"])
+        diffcheck.assert_no_orphans()
+        assert "Traceback" not in err
+        assert code == 3
+        assert document["outcome"] == "ERROR"
+        for subgoal in document["subgoals"]:
+            assert subgoal["outcome"] == "ERROR"
+            assert "worker crashed" in subgoal["error"]
+            assert "quarantined" in subgoal["error"]
+
+    def test_killed_worker_in_table_run(self):
+        seq_code, seq_docs, _ = diffcheck.run_cli_json(
+            ["table", "searchwf", "scan", "--json"])
+        with diffcheck.fault_env("verify.decide:kill:1"):
+            par_code, par_docs, err = diffcheck.run_cli_json(
+                ["table", "searchwf", "scan", "--json", "--jobs", "2"])
+        diffcheck.assert_no_orphans()
+        assert "Traceback" not in err
+        assert par_code == seq_code == 0
+        assert diffcheck.normalize(par_docs) == \
+            diffcheck.normalize(seq_docs)
+
+    def test_program_task_crash_degrades_table_row(self):
+        # A table worker that always dies quarantines its program as
+        # a structured error row; the run itself still completes.
+        with diffcheck.fault_env("verify.decide:exit"):
+            code, documents, err = diffcheck.run_cli_json(
+                ["table", "searchwf", "--json", "--jobs", "2"])
+        diffcheck.assert_no_orphans()
+        assert "Traceback" not in err
+        assert code == 3
+        (document,) = documents
+        assert document["outcome"] == "ERROR"
+        assert "worker" in document["error"]
+
+
 class TestWireFidelity:
     def test_span_round_trip_preserves_tree(self):
         code, document, _ = diffcheck.run_cli_json(

@@ -72,19 +72,78 @@ class TestSpecParsing:
             "recursion": RecursionError,
             "interrupt": KeyboardInterrupt,
         }
-        assert set(expectations) == set(faults.FAULT_KINDS)
+        # The crash kinds (exit/kill) terminate the process instead of
+        # raising, so they cannot be fired in this test process; the
+        # supervised-pool tests exercise them for real.
+        assert (set(expectations) | set(faults.CRASH_KINDS)
+                == set(faults.FAULT_KINDS))
         for kind, exc_type in expectations.items():
             plan = faults.parse_plan(f"mso.compile:{kind}")
             with pytest.raises(exc_type):
                 plan.fire("mso.compile")
 
+    def test_crash_kinds_parse(self):
+        for kind in faults.CRASH_KINDS:
+            faults.parse_plan(f"verify.decide:{kind}:1")
+
+    def test_serve_sites_registered(self):
+        assert set(faults.SERVE_SITES) == {
+            "serve.worker_spawn", "serve.heartbeat",
+            "serve.request_decode", "serve.cache_write"}
+        for site in faults.SERVE_SITES:
+            faults.parse_plan(f"{site}:error")
+
+
+class TestPlanSerialisation:
+    def test_to_spec_round_trips(self):
+        spec = "mso.compile:memory,verify.decide:kill:2,exec.symbolic:error"
+        plan = faults.parse_plan(spec)
+        rebuilt = faults.parse_plan(plan.to_spec())
+        assert rebuilt.to_spec() == plan.to_spec()
+        assert "verify.decide:kill:2" in plan.to_spec()
+
+    def test_to_spec_tracks_spent_counts(self):
+        plan = faults.parse_plan("mso.compile:error:2")
+        with pytest.raises(RuntimeError):
+            plan.fire("mso.compile")
+        assert plan.to_spec() == "mso.compile:error:1"
+
+    def test_spent_rule_survives_round_trip_without_firing(self):
+        plan = faults.parse_plan("mso.compile:error:1")
+        with pytest.raises(RuntimeError):
+            plan.fire("mso.compile")
+        rebuilt = faults.parse_plan(plan.to_spec())
+        rebuilt.fire("mso.compile")  # remaining 0: silent
+
+    def test_consume_crash_decrements_counted_crash_rule(self):
+        plan = faults.parse_plan("verify.decide:kill:1")
+        assert plan.consume_crash() is True
+        assert plan.consume_crash() is False
+        plan.fire("verify.decide")  # spent: the respawned worker lives
+
+    def test_consume_crash_ignores_unlimited_rules(self):
+        # An unlimited crash rule means "every attempt dies" — the
+        # quarantine path; the supervisor must not eat it.
+        plan = faults.parse_plan("verify.decide:exit")
+        assert plan.consume_crash() is False
+
+    def test_consume_crash_ignores_non_crash_rules(self):
+        plan = faults.parse_plan("mso.compile:error:3")
+        assert plan.consume_crash() is False
+        assert plan.to_spec() == "mso.compile:error:3"
+
 
 from repro.programs import ALL_PROGRAMS
 
 #: Sites that fire on every run.  ``verify.counterexample`` is only
-#: reached when a subgoal fails, so it gets the failing programs.
+#: reached when a subgoal fails, so it gets the failing programs;
+#: the ``serve.*`` sites only fire on serving/supervision paths
+#: (worker pools, the daemon, cache writes) and are driven by
+#: :class:`TestServeSiteFaults` plus the supervised-pool and daemon
+#: suites instead of the whole-corpus matrix.
 _ALWAYS_SITES = tuple(site for site in faults.FAULT_SITES
-                      if site != "verify.counterexample")
+                      if site != "verify.counterexample"
+                      and site not in faults.SERVE_SITES)
 _FAILING_PROGRAMS = ("swap", "fumble")
 
 _MATRIX = ([(site, program) for site in _ALWAYS_SITES
@@ -145,6 +204,30 @@ class TestFaultMatrix:
         assert main(["table", "reverse", "--json"]) == 130
         documents = json.loads(capsys.readouterr().out)
         assert documents[0]["interrupted"] is True
+
+
+class TestServeSiteFaults:
+    """The serving sites degrade gracefully where they fire: a failed
+    cache write skips the store, a failed worker spawn is retried.
+    (``serve.request_decode`` and ``serve.heartbeat`` are driven by
+    the daemon and supervised-pool suites, where those paths exist.)"""
+
+    def test_cache_write_fault_skips_store_not_run(self, tmp_path,
+                                                   monkeypatch,
+                                                   capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "serve.cache_write:error")
+        assert main(["verify", "searchwf", "--json",
+                     "--cache-dir", str(tmp_path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["outcome"] == "VERIFIED"
+        # Every store failed silently: nothing cached on disk.
+        assert not list(tmp_path.rglob("*.pkl"))
+
+    def test_worker_spawn_fault_is_retried(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULTS", "serve.worker_spawn:error:1")
+        assert main(["verify", "searchwf", "--json", "-j", "2"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["outcome"] == "VERIFIED"
 
 
 class TestDegradationLadder:

@@ -1,0 +1,266 @@
+"""End-to-end tests for the serving daemon.
+
+Each test starts a real ``repro serve`` subprocess on a unix socket
+and speaks to it through :class:`repro.serve.client.ServeClient` —
+the same wire an operator's curl would use.  The lifecycle helper
+asserts the cardinal robustness properties on every exit: the daemon
+stops on SIGTERM with exit code 0, unlinks its socket, and leaves no
+orphaned worker process behind.
+"""
+
+import contextlib
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO, "src")
+
+pytestmark = pytest.mark.slow
+
+
+def _no_processes_mention(token: str) -> None:
+    """No live process (daemon or forked worker) carries ``token`` in
+    its command line — the orphan check."""
+    probe = subprocess.run(["pgrep", "-f", token],
+                           capture_output=True, text=True)
+    assert probe.returncode != 0, \
+        f"orphaned processes survive: {probe.stdout}"
+
+
+@contextlib.contextmanager
+def daemon(*extra_args, env_extra=None):
+    """A running daemon on a fresh unix socket; yields
+    (process, client, socket path) and tears down cleanly."""
+    root = tempfile.mkdtemp(prefix="repro-serve-")
+    sock = os.path.join(root, "d.sock")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    if env_extra:
+        env.update(env_extra)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--unix-socket", sock, *extra_args],
+        env=env, cwd=_REPO, text=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    client = ServeClient(unix_socket=sock, timeout=300.0)
+    try:
+        _wait_healthy(process, client)
+        yield process, client, sock
+    finally:
+        try:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+                try:
+                    process.wait(60)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait(10)
+            _no_processes_mention(sock)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _wait_healthy(process, client, timeout=30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon died during startup (exit {process.returncode})"
+                f": {process.stderr.read()}")
+        try:
+            status, _, _ = client.health()
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError("daemon never became healthy")
+
+
+def _wait_active(client, minimum=1, timeout=30.0) -> None:
+    """Poll /v1/stats until ``minimum`` requests hold active slots."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, stats = client.stats()
+        if status == 200 and \
+                stats["admission"]["active"] >= minimum:
+            return
+        time.sleep(0.02)
+    raise AssertionError("request never reached the active state")
+
+
+class TestDaemonHappyPath:
+    def test_end_to_end(self):
+        with daemon("--workers", "2") as (process, client, sock):
+            status, _, body = client.health()
+            assert status == 200 and body["status"] == "ok"
+            status, _, body = client.ready()
+            assert status == 200 and body["status"] == "ready"
+
+            # A bundled program, verified through the shared pool.
+            status, _, report = client.verify(program="searchwf")
+            assert status == 200
+            assert report["outcome"] == "VERIFIED"
+            assert report["schema_version"] == 2
+            assert all(s["outcome"] == "VERIFIED"
+                       for s in report["subgoals"])
+
+            # Front-end rejection: well-formed HTTP, broken program.
+            status, _, body = client.verify(source="program oops")
+            assert status == 422
+            assert body["error"]["code"] == "front-end"
+
+            # Unknown bundled name.
+            status, _, body = client.verify(program="no-such")
+            assert status == 404
+            assert body["error"]["code"] == "unknown-program"
+
+            # Malformed field type.
+            status, _, body = client.request(
+                "POST", "/v1/verify", {"program": [1]})
+            assert status == 400
+            assert body["error"]["code"] == "bad-request"
+
+            # Unrouted paths are structured too.
+            status, _, body = client.request("GET", "/nope")
+            assert status == 404
+
+            # Batch: validated up front as a unit...
+            status, _, body = client.batch(
+                [{"program": "searchwf"}, {"program": "no-such"}])
+            assert status == 404
+            assert "requests[1]" in body["error"]["message"]
+            # ...then executed with one status per item.
+            status, _, body = client.batch(
+                [{"program": "searchwf"},
+                 {"source": "program oops"}])
+            assert status == 200
+            statuses = [item["status"] for item in body["results"]]
+            assert statuses == [200, 422]
+            assert body["results"][0]["result"]["outcome"] == "VERIFIED"
+
+            # Stats carries every introspection section.
+            status, _, stats = client.stats()
+            assert status == 200
+            assert stats["pool"]["jobs"] == 2
+            assert stats["admission"]["max_concurrent"] >= 1
+            assert "cache" in stats and "metrics" in stats
+
+    def test_async_job_lifecycle(self):
+        with daemon("--workers", "2") as (process, client, sock):
+            status, _, body = client.verify(program="scan",
+                                            background=True)
+            assert status == 202
+            job_id = body["job_id"]
+            assert body["state"] in ("queued", "running")
+
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                status, _, body = client.job(job_id)
+                assert status == 200
+                if body["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.1)
+            assert body["state"] == "done"
+            assert body["status"] == 200
+            assert body["result"]["outcome"] == "VERIFIED"
+
+            status, _, body = client.job("not-a-job")
+            assert status == 404
+            assert body["error"]["code"] == "unknown-job"
+
+
+class TestDaemonAdmission:
+    def test_queue_full_rejected_with_retry_after(self):
+        with daemon("--workers", "1", "--max-concurrent", "1",
+                    "--max-queue", "0") as (process, client, sock):
+            replies = []
+
+            def occupy():
+                replies.append(ServeClient(unix_socket=sock,
+                                           timeout=300.0)
+                               .verify(program="zip"))
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            try:
+                _wait_active(client)
+                status, headers, body = client.verify(
+                    program="searchwf")
+                assert status == 429
+                assert body["error"]["code"] == "queue-full"
+                assert int(headers["retry-after"]) >= 1
+            finally:
+                thread.join(300)
+            status, _, report = replies[0]
+            assert status == 200
+            assert report["outcome"] == "VERIFIED"
+
+
+class TestDaemonShutdown:
+    def test_sigterm_drains_in_flight_request(self):
+        with daemon("--workers", "1", "--drain-grace", "120") as \
+                (process, client, sock):
+            replies = []
+
+            def occupy():
+                replies.append(ServeClient(unix_socket=sock,
+                                           timeout=300.0)
+                               .verify(program="zip"))
+
+            thread = threading.Thread(target=occupy)
+            thread.start()
+            _wait_active(client)
+            process.send_signal(signal.SIGTERM)
+            thread.join(300)
+
+            # The in-flight request completed normally...
+            status, _, report = replies[0]
+            assert status == 200
+            assert report["outcome"] == "VERIFIED"
+            # ...the daemon exited cleanly and removed its socket.
+            assert process.wait(60) == 0
+            assert not os.path.exists(sock)
+        _no_processes_mention(sock)
+
+
+class TestDaemonFaults:
+    def test_worker_killed_mid_request_is_retried(self):
+        # A SIGKILLed busy worker must not strand or corrupt the
+        # request: the supervisor respawns, retries, and the verdicts
+        # match an undisturbed run.
+        with daemon("--workers", "2",
+                    env_extra={"REPRO_FAULTS": "verify.decide:kill:1"}
+                    ) as (process, client, sock):
+            status, _, report = client.verify(program="searchwf")
+            assert status == 200
+            assert report["outcome"] == "VERIFIED"
+            assert all(s["outcome"] == "VERIFIED"
+                       for s in report["subgoals"])
+            status, _, stats = client.stats()
+            assert stats["pool"]["restarts"] >= 1
+
+    def test_request_decode_fault_stays_structured(self):
+        # Even an "impossible" decoder failure comes back as JSON with
+        # a status code, and the daemon keeps serving afterwards.
+        with daemon("--workers", "1",
+                    env_extra={"REPRO_FAULTS":
+                               "serve.request_decode:error"}
+                    ) as (process, client, sock):
+            status, _, body = client.verify(program="searchwf")
+            assert status == 500
+            assert body["error"]["code"] == "internal"
+            assert "Traceback" not in str(body)
+            status, _, body = client.health()
+            assert status == 200
